@@ -1,0 +1,265 @@
+//! The §3.2 cost models: links, cross points and VLSI area for each
+//! architecture, normalised to *k-permutation* capability.
+//!
+//! The paper's counting conventions differ slightly between architectures
+//! (directed vs. undirected links, exact vs. order-of-magnitude area); the
+//! per-architecture documentation below records which convention each
+//! formula uses, and [`crate::structural`] cross-checks the link counts
+//! against constructed instances under those conventions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The architectures §3.2 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Architecture {
+    /// The ring-based reconfigurable multiple bus network with `k` buses.
+    Rmb,
+    /// The plain binary hypercube (full permutation capability not
+    /// guaranteed; listed for reference as in §3.1).
+    Hypercube,
+    /// The Enhanced Hypercube: one duplicated link dimension, degree
+    /// `log N + 1`, arbitrary-permutation capable.
+    Ehc,
+    /// The Generalized Folding Cube scaled down to k-permutation
+    /// capability (§3.2's `2^d`-node, degree-`d` construction).
+    GfcScaled,
+    /// The minimum fat tree supporting a k-permutation (Fig. 11).
+    FatTree,
+    /// The 2-D mesh, expanded by `√k` per dimension for k-permutation
+    /// wiring.
+    Mesh,
+}
+
+impl Architecture {
+    /// All architectures, in the paper's presentation order.
+    pub const ALL: [Architecture; 6] = [
+        Architecture::Rmb,
+        Architecture::Hypercube,
+        Architecture::Ehc,
+        Architecture::GfcScaled,
+        Architecture::FatTree,
+        Architecture::Mesh,
+    ];
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Architecture::Rmb => "RMB",
+            Architecture::Hypercube => "hypercube",
+            Architecture::Ehc => "EHC",
+            Architecture::GfcScaled => "GFC(k-scaled)",
+            Architecture::FatTree => "fat-tree",
+            Architecture::Mesh => "mesh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three §3.2 metrics for one architecture at one `(N, k)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cost {
+    /// Number of links (wires between switching elements).
+    pub links: f64,
+    /// Number of cross points (wire intersections inside switches).
+    pub crosspoints: f64,
+    /// VLSI layout area, in units of one unit-length wire square.
+    pub area: f64,
+}
+
+/// Evaluates the §3.2 cost model for `arch` at `n` nodes supporting a
+/// `k`-permutation.
+///
+/// Formulas (and their conventions) follow the paper:
+///
+/// * **RMB** — links `N·k` (unidirectional segments, all unit length),
+///   cross points `3·N·k` (each output port reaches 3 inputs), area
+///   `O(N·k)` with constant 1.
+/// * **Hypercube** — links `N·log N` (the paper's directed count), cross
+///   points `N·(log N)²`, area `Θ(N²)`.
+/// * **EHC** — degree `log N + 1`: links `N·(log N + 1)`, cross points
+///   `N·(log N + 1)²`, area `Θ(N²)`.
+/// * **GFC (k-scaled)** — the paper's bound `(N/k)·log(N/k)` links, with
+///   EHC-like switch complexity on `N/k` nodes; area `Θ((N/k)²)`.
+/// * **Fat tree** — links `N·log k + N − 2k`, cross points `6k²·(N/k − 1)
+///   + 6k²·(N/k)` ("more than 6" per node; we take the constant 6 for
+///   both internal and leaf nodes), area `12·N·k`.
+/// * **Mesh** — links `2N`, cross points `16N` (4×4 crossbars), area
+///   `N·k` after the `√k` expansion per dimension.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k` is zero or `k > n`.
+pub fn cost(arch: Architecture, n: u32, k: u16) -> Cost {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(k >= 1, "need at least one bus / permutation lane");
+    assert!(u32::from(k) <= n, "a k-permutation needs k <= N");
+    let nf = f64::from(n);
+    let kf = f64::from(k);
+    let logn = nf.log2();
+    match arch {
+        Architecture::Rmb => Cost {
+            links: nf * kf,
+            crosspoints: 3.0 * nf * kf,
+            area: nf * kf,
+        },
+        Architecture::Hypercube => Cost {
+            links: nf * logn,
+            crosspoints: nf * logn * logn,
+            area: nf * nf,
+        },
+        Architecture::Ehc => Cost {
+            links: nf * (logn + 1.0),
+            crosspoints: nf * (logn + 1.0) * (logn + 1.0),
+            area: nf * nf,
+        },
+        Architecture::GfcScaled => {
+            let m = (nf / kf).max(2.0);
+            let logm = m.log2();
+            Cost {
+                links: m * logm,
+                crosspoints: m * (logm + 1.0) * (logm + 1.0),
+                area: m * m,
+            }
+        }
+        Architecture::FatTree => Cost {
+            links: nf * kf.log2() + nf - 2.0 * kf,
+            crosspoints: 6.0 * kf * kf * (nf / kf - 1.0) + 6.0 * kf * kf * (nf / kf),
+            area: 12.0 * nf * kf,
+        },
+        Architecture::Mesh => Cost {
+            links: 2.0 * nf,
+            crosspoints: 16.0 * nf,
+            area: nf * kf,
+        },
+    }
+}
+
+/// One row of the §3.2 comparison table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Node count.
+    pub n: u32,
+    /// Permutation capability.
+    pub k: u16,
+    /// Architecture.
+    pub arch: Architecture,
+    /// Evaluated cost.
+    pub cost: Cost,
+}
+
+/// Evaluates every architecture over a grid of `(N, k)` points, in the
+/// paper's presentation order.
+pub fn comparison_grid(ns: &[u32], ks: &[u16]) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            if u32::from(k) > n {
+                continue;
+            }
+            for arch in Architecture::ALL {
+                rows.push(ComparisonRow {
+                    n,
+                    k,
+                    arch,
+                    cost: cost(arch, n, k),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmb_formulas_match_paper() {
+        let c = cost(Architecture::Rmb, 64, 8);
+        assert_eq!(c.links, 512.0);
+        assert_eq!(c.crosspoints, 1536.0);
+        assert_eq!(c.area, 512.0);
+    }
+
+    #[test]
+    fn ehc_formulas_match_paper() {
+        // N = 64: degree log N + 1 = 7.
+        let c = cost(Architecture::Ehc, 64, 8);
+        assert_eq!(c.links, 64.0 * 7.0);
+        assert_eq!(c.crosspoints, 64.0 * 49.0);
+        assert_eq!(c.area, 4096.0);
+    }
+
+    #[test]
+    fn fat_tree_formulas_match_paper() {
+        // N = 64, k = 8: links = 64*3 + 64 - 16 = 240.
+        let c = cost(Architecture::FatTree, 64, 8);
+        assert_eq!(c.links, 240.0);
+        // Cross points: 6*64*(8-1) + 6*64*8 = 2688 + 3072.
+        assert_eq!(c.crosspoints, 6.0 * 64.0 * 7.0 + 6.0 * 64.0 * 8.0);
+        assert_eq!(c.area, 12.0 * 64.0 * 8.0);
+    }
+
+    #[test]
+    fn mesh_formulas_match_paper() {
+        let c = cost(Architecture::Mesh, 64, 4);
+        assert_eq!(c.links, 128.0);
+        assert_eq!(c.crosspoints, 1024.0);
+        assert_eq!(c.area, 256.0);
+    }
+
+    #[test]
+    fn paper_conclusion_rmb_beats_hypercube_and_fat_tree_on_area() {
+        // §3.2's qualitative conclusion, checked across a sweep: the RMB's
+        // area is below the EHC's for large N and below the fat tree's
+        // everywhere (constant 1 vs 12).
+        for n in [64u32, 256, 1024, 4096] {
+            for k in [4u16, 8, 16] {
+                let rmb = cost(Architecture::Rmb, n, k);
+                let ehc = cost(Architecture::Ehc, n, k);
+                let ft = cost(Architecture::FatTree, n, k);
+                assert!(rmb.area < ehc.area, "N={n} k={k}");
+                assert!(rmb.area < ft.area, "N={n} k={k}");
+                assert!(rmb.crosspoints < ft.crosspoints, "N={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_conclusion_rmb_has_more_links_than_fat_tree() {
+        // §3.2: "The RMB has more links than a hypercube or a fat tree to
+        // support k-permutation" — for k >= log N territory.
+        for n in [256u32, 1024] {
+            let k = 16;
+            let rmb = cost(Architecture::Rmb, n, k);
+            let ft = cost(Architecture::FatTree, n, k);
+            assert!(rmb.links > ft.links, "N={n}");
+        }
+    }
+
+    #[test]
+    fn mesh_and_rmb_area_comparable() {
+        // §3.2: mesh expanded for k wires has area O(Nk), same as RMB.
+        let rmb = cost(Architecture::Rmb, 256, 8);
+        let mesh = cost(Architecture::Mesh, 256, 8);
+        assert_eq!(rmb.area, mesh.area);
+    }
+
+    #[test]
+    fn grid_covers_all_architectures() {
+        let rows = comparison_grid(&[16, 64], &[2, 4]);
+        assert_eq!(rows.len(), 2 * 2 * Architecture::ALL.len());
+        // Grid skips infeasible k > N combinations.
+        let rows = comparison_grid(&[2], &[4]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= N")]
+    fn cost_rejects_k_above_n() {
+        let _ = cost(Architecture::Rmb, 4, 8);
+    }
+}

@@ -1,0 +1,193 @@
+//! The two-ring organisation the paper sketches in §2.1: "for efficiency
+//! reasons, one may like to organize the communication as two parallel
+//! uni-directional rings".
+//!
+//! Each message is routed on whichever ring gives it the shorter path
+//! (clockwise on the primary ring, or clockwise on the *reversed* ring,
+//! which is counter-clockwise in primary coordinates). The two rings run
+//! independently, each with `k` buses; total wiring is `2·N·k` segments.
+
+use rmb_baselines::{Network, RoutingOutcome};
+use rmb_core::RmbNetwork;
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+/// Two opposite unidirectional RMB rings behind the common [`Network`]
+/// interface.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_analysis::DualRmbRing;
+/// use rmb_baselines::Network;
+/// use rmb_types::{MessageSpec, NodeId, RmbConfig};
+///
+/// let mut dual = DualRmbRing::new(RmbConfig::new(16, 2)?);
+/// // 0 -> 15 is 15 hops clockwise but 1 hop on the reverse ring.
+/// let out = dual.route_messages(
+///     &[MessageSpec::new(NodeId::new(0), NodeId::new(15), 4)],
+///     10_000,
+/// );
+/// assert_eq!(out.delivered.len(), 1);
+/// assert!(out.delivered[0].latency() < 20);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualRmbRing {
+    cfg: RmbConfig,
+}
+
+impl DualRmbRing {
+    /// Creates the dual-ring adapter; each ring uses the full `cfg`.
+    pub fn new(cfg: RmbConfig) -> Self {
+        DualRmbRing { cfg }
+    }
+
+    /// Mirrors a node id into reverse-ring coordinates.
+    fn mirror(&self, node: NodeId) -> NodeId {
+        let n = self.cfg.nodes().get();
+        NodeId::new((n - node.index()) % n)
+    }
+}
+
+impl Network for DualRmbRing {
+    fn label(&self) -> String {
+        format!(
+            "dual-rmb(N={}, k={}x2)",
+            self.cfg.nodes().get(),
+            self.cfg.buses()
+        )
+    }
+
+    fn node_count(&self) -> u32 {
+        self.cfg.nodes().get()
+    }
+
+    fn link_count(&self) -> u64 {
+        2 * u64::from(self.cfg.nodes().get()) * u64::from(self.cfg.buses())
+    }
+
+    fn route_messages(&mut self, messages: &[MessageSpec], max_ticks: u64) -> RoutingOutcome {
+        let ring = self.cfg.nodes();
+        let mut forward = RmbNetwork::new(self.cfg);
+        let mut backward = RmbNetwork::new(self.cfg);
+        let mut backward_specs = Vec::new();
+        for m in messages {
+            let cw = ring.clockwise_distance(m.source, m.destination);
+            let ccw = ring.get() - cw;
+            // Strictly shorter direction wins; ties (the diameter) are
+            // split by source parity so the two rings share the load.
+            let go_forward = cw < ccw || (cw == ccw && m.source.is_even());
+            if go_forward {
+                forward.submit(*m).expect("valid message");
+            } else {
+                // Reverse-ring coordinates: node i maps to (N - i) mod N so
+                // that counter-clockwise hops become clockwise ones.
+                let spec = MessageSpec::new(
+                    self.mirror(m.source),
+                    self.mirror(m.destination),
+                    m.data_flits,
+                )
+                .at(m.inject_at);
+                backward_specs.push((*m, spec));
+                backward.submit(spec).expect("valid message");
+            }
+        }
+        let fr = forward.run_to_quiescence(max_ticks);
+        let br = backward.run_to_quiescence(max_ticks);
+        let mut delivered = fr.delivered;
+        // Report backward deliveries in primary coordinates.
+        for d in br.delivered {
+            let original = backward_specs
+                .iter()
+                .find(|(_, s)| s.source == d.spec.source && s.destination == d.spec.destination)
+                .map(|(orig, _)| *orig)
+                .unwrap_or(d.spec);
+            delivered.push(rmb_types::DeliveredMessage {
+                spec: original,
+                ..d
+            });
+        }
+        delivered.sort_by_key(|d| d.delivered_at);
+        RoutingOutcome {
+            delivered,
+            ticks: fr.ticks.max(br.ticks),
+            stalled: fr.stalled || br.stalled,
+            peak_busy_channels: fr.peak_virtual_buses + br.peak_virtual_buses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_take_the_shorter_ring() {
+        let mut dual = DualRmbRing::new(RmbConfig::new(16, 2).unwrap());
+        let msgs = vec![
+            MessageSpec::new(NodeId::new(0), NodeId::new(3), 4), // 3 cw
+            MessageSpec::new(NodeId::new(0), NodeId::new(13), 4), // 3 ccw
+        ];
+        let out = dual.route_messages(&msgs, 10_000);
+        assert_eq!(out.delivered.len(), 2);
+        // Both spans are 3 hops, so both latencies are small and similar.
+        let lats: Vec<u64> = out.delivered.iter().map(|d| d.latency()).collect();
+        assert!(lats.iter().all(|&l| l < 30), "{lats:?}");
+    }
+
+    #[test]
+    fn dual_ring_beats_single_ring_on_reversal_permutation() {
+        let n = 16u32;
+        let msgs: Vec<MessageSpec> = (0..n)
+            .filter(|&s| n - 1 - s != s)
+            .map(|s| MessageSpec::new(NodeId::new(s), NodeId::new(n - 1 - s), 8))
+            .collect();
+        let cfg = RmbConfig::builder(n, 4).head_timeout(128).build().unwrap();
+        let mut single = crate::RmbRing::new(cfg);
+        let mut dual = DualRmbRing::new(cfg);
+        let s = single.route_messages(&msgs, 1_000_000);
+        let d = dual.route_messages(&msgs, 1_000_000);
+        assert_eq!(s.delivered.len(), msgs.len(), "single stalled={}", s.stalled);
+        assert_eq!(d.delivered.len(), msgs.len(), "dual stalled={}", d.stalled);
+        assert!(
+            d.makespan() < s.makespan(),
+            "dual {} vs single {}",
+            d.makespan(),
+            s.makespan()
+        );
+    }
+
+    #[test]
+    fn tied_distances_split_across_rings() {
+        // The "opposite" permutation: every path is exactly N/2 both ways.
+        let n = 16u32;
+        let msgs: Vec<MessageSpec> = (0..n)
+            .map(|s| MessageSpec::new(NodeId::new(s), NodeId::new((s + n / 2) % n), 8))
+            .collect();
+        let cfg = RmbConfig::builder(n, 4).head_timeout(128).build().unwrap();
+        let mut single = crate::RmbRing::new(cfg);
+        let mut dual = DualRmbRing::new(cfg);
+        let s = single.route_messages(&msgs, 1_000_000);
+        let d = dual.route_messages(&msgs, 1_000_000);
+        assert_eq!(d.delivered.len(), msgs.len(), "dual stalled={}", d.stalled);
+        // Splitting the diameter traffic across both rings must beat the
+        // single ring carrying all of it.
+        assert!(
+            s.stalled || d.makespan() < s.makespan(),
+            "dual {} vs single {}",
+            d.makespan(),
+            s.makespan()
+        );
+    }
+
+    #[test]
+    fn mirror_roundtrips() {
+        let dual = DualRmbRing::new(RmbConfig::new(8, 1).unwrap());
+        for i in 0..8 {
+            let m = dual.mirror(NodeId::new(i));
+            assert_eq!(dual.mirror(m), NodeId::new(i));
+        }
+        assert_eq!(dual.mirror(NodeId::new(0)), NodeId::new(0));
+        assert_eq!(dual.mirror(NodeId::new(3)), NodeId::new(5));
+    }
+}

@@ -1,0 +1,368 @@
+//! An N-dimensional lattice of RMB rings — the general form of the §4
+//! future-work item ("reconfigurable multiple bus systems for 2- and 3-D
+//! grid connected computers"). [`crate::RmbGrid`] is the hand-rolled 2-D
+//! special case; this module composes any dimensionality.
+//!
+//! For each dimension `d` and each *line* of the lattice along `d` (all
+//! other coordinates fixed), one RMB ring connects the `dims[d]` nodes of
+//! that line. A message routes dimension-ordered: one ring leg per
+//! dimension where source and destination coordinates differ, with
+//! store-and-forward hand-off at each corner.
+
+use rmb_baselines::{Network, RoutingOutcome};
+use rmb_core::RmbNetwork;
+use rmb_types::{DeliveredMessage, MessageSpec, NodeId, RequestId, RmbConfig};
+use std::collections::HashMap;
+
+/// A lattice of RMB rings over `dims[0] × dims[1] × …` nodes.
+///
+/// Flat node ids use mixed-radix order: coordinate 0 varies fastest.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_analysis::RmbLattice;
+/// use rmb_baselines::Network;
+/// use rmb_types::{MessageSpec, NodeId, RmbConfig};
+///
+/// // A 3-D 4x4x4 lattice: 64 nodes, three ring legs at most.
+/// let mut lat = RmbLattice::new(vec![4, 4, 4], RmbConfig::new(4, 2)?);
+/// let out = lat.route_messages(
+///     &[MessageSpec::new(NodeId::new(0), NodeId::new(63), 8)],
+///     200_000,
+/// );
+/// assert_eq!(out.delivered.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmbLattice {
+    dims: Vec<u32>,
+    cfgs: Vec<RmbConfig>,
+}
+
+impl RmbLattice {
+    /// Builds a lattice; each dimension-`d` ring gets `ring_cfg`'s knobs
+    /// sized to `dims[d]` nodes. Send/receive slots are widened to 2 so
+    /// corner nodes can forward while originating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given or any dimension is
+    /// below 2.
+    pub fn new(dims: Vec<u32>, ring_cfg: RmbConfig) -> Self {
+        assert!(dims.len() >= 2, "a lattice needs at least two dimensions");
+        assert!(dims.iter().all(|&d| d >= 2), "each dimension needs >= 2 nodes");
+        let cfgs = dims
+            .iter()
+            .map(|&d| {
+                let mut b = RmbConfig::builder(d, ring_cfg.buses())
+                    .compaction(ring_cfg.compaction)
+                    .early_compaction(ring_cfg.early_compaction)
+                    .insertion(ring_cfg.insertion)
+                    .ack_mode(ring_cfg.ack_mode)
+                    .retry_backoff(ring_cfg.node.retry_backoff)
+                    .max_concurrent_sends(ring_cfg.node.max_concurrent_sends.max(2))
+                    .max_concurrent_receives(ring_cfg.node.max_concurrent_receives.max(2));
+                if let Some(t) = ring_cfg.head_timeout {
+                    b = b.head_timeout(t);
+                }
+                b.build().expect("derived ring config is valid")
+            })
+            .collect();
+        RmbLattice { dims, cfgs }
+    }
+
+    /// The lattice shape.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    fn coords(&self, flat: u32) -> Vec<u32> {
+        let mut rest = flat;
+        self.dims
+            .iter()
+            .map(|&d| {
+                let c = rest % d;
+                rest /= d;
+                c
+            })
+            .collect()
+    }
+
+    /// Lines along dimension `d` are indexed by the flat id with
+    /// coordinate `d` removed.
+    fn line_index(&self, coords: &[u32], d: usize) -> usize {
+        let mut idx = 0usize;
+        let mut mul = 1usize;
+        for (i, (&c, &dim)) in coords.iter().zip(&self.dims).enumerate() {
+            if i == d {
+                continue;
+            }
+            idx += c as usize * mul;
+            mul *= dim as usize;
+        }
+        idx
+    }
+
+    fn lines_in_dim(&self, d: usize) -> usize {
+        self.dims
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != d)
+            .map(|(_, &dim)| dim as usize)
+            .product()
+    }
+}
+
+impl Network for RmbLattice {
+    fn label(&self) -> String {
+        let shape: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!("rmb-lattice({}, k={})", shape.join("x"), self.cfgs[0].buses())
+    }
+
+    fn node_count(&self) -> u32 {
+        self.dims.iter().product()
+    }
+
+    fn link_count(&self) -> u64 {
+        // One ring per line per dimension, each with dims[d] * k segments.
+        (0..self.dims.len())
+            .map(|d| {
+                self.lines_in_dim(d) as u64
+                    * u64::from(self.dims[d])
+                    * u64::from(self.cfgs[d].buses())
+            })
+            .sum()
+    }
+
+    fn route_messages(&mut self, messages: &[MessageSpec], max_ticks: u64) -> RoutingOutcome {
+        let ndims = self.dims.len();
+        // rings[d][line] — one RMB per line of each dimension.
+        let mut rings: Vec<Vec<RmbNetwork>> = (0..ndims)
+            .map(|d| {
+                (0..self.lines_in_dim(d))
+                    .map(|_| RmbNetwork::new(self.cfgs[d]))
+                    .collect()
+            })
+            .collect();
+
+        struct Plan {
+            spec: MessageSpec,
+            /// Current coordinates along the route.
+            at: Vec<u32>,
+            /// Next dimension to resolve.
+            next_dim: usize,
+            done: Option<DeliveredMessage>,
+        }
+        let mut plans: Vec<Plan> = messages
+            .iter()
+            .map(|m| Plan {
+                spec: *m,
+                at: self.coords(m.source.index()),
+                next_dim: 0,
+                done: None,
+            })
+            .collect();
+        let mut lookup: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        let mut consumed: Vec<Vec<usize>> = (0..ndims)
+            .map(|d| vec![0usize; self.lines_in_dim(d)])
+            .collect();
+
+        // Starts the next needed leg for plan `i`; returns true when the
+        // message is already at its destination.
+        fn start_leg(
+            lat: &RmbLattice,
+            rings: &mut [Vec<RmbNetwork>],
+            lookup: &mut HashMap<(usize, usize, u64), usize>,
+            plans: &mut [Plan],
+            i: usize,
+            at_tick: u64,
+        ) -> bool {
+            let dst = lat.coords(plans[i].spec.destination.index());
+            while plans[i].next_dim < lat.dims.len() {
+                let d = plans[i].next_dim;
+                if plans[i].at[d] == dst[d] {
+                    plans[i].next_dim += 1;
+                    continue;
+                }
+                let line = lat.line_index(&plans[i].at, d);
+                let req = rings[d][line]
+                    .submit(
+                        MessageSpec::new(
+                            NodeId::new(plans[i].at[d]),
+                            NodeId::new(dst[d]),
+                            plans[i].spec.data_flits,
+                        )
+                        .at(at_tick),
+                    )
+                    .expect("valid leg");
+                lookup.insert((d, line, req.get()), i);
+                return false;
+            }
+            true
+        }
+
+        let mut completed = 0usize;
+        for i in 0..plans.len() {
+            let inject_at = plans[i].spec.inject_at;
+            if start_leg(self, &mut rings, &mut lookup, &mut plans, i, inject_at) {
+                // Degenerate: source == destination is filtered upstream,
+                // but a zero-leg plan completes immediately.
+                plans[i].done = Some(DeliveredMessage {
+                    request: RequestId::new(i as u64),
+                    spec: plans[i].spec,
+                    requested_at: plans[i].spec.inject_at,
+                    circuit_at: plans[i].spec.inject_at,
+                    delivered_at: plans[i].spec.inject_at,
+                    refusals: 0,
+                });
+                completed += 1;
+            }
+        }
+
+        let mut now = 0u64;
+        let mut last_progress = 0u64;
+        let stall_window = 8 * u64::from(self.dims.iter().sum::<u32>())
+            + 3 * self.cfgs[0].head_timeout.unwrap_or(0)
+            + 16 * self.cfgs[0].node.retry_backoff
+            + messages.iter().map(|m| u64::from(m.data_flits)).max().unwrap_or(0)
+            + 128;
+        while completed < plans.len() && now < max_ticks {
+            for dim_rings in rings.iter_mut() {
+                for ring in dim_rings.iter_mut() {
+                    ring.tick();
+                }
+            }
+            now += 1;
+            for d in 0..ndims {
+                for line in 0..rings[d].len() {
+                    let len = rings[d][line].delivered_log().len();
+                    while consumed[d][line] < len {
+                        let del = rings[d][line].delivered_log()[consumed[d][line]];
+                        consumed[d][line] += 1;
+                        let Some(&i) = lookup.get(&(d, line, del.request.get())) else {
+                            continue;
+                        };
+                        // Advance the plan's position along this dimension.
+                        plans[i].at[d] = del.spec.destination.index();
+                        plans[i].next_dim = d + 1;
+                        if start_leg(
+                            self,
+                            &mut rings,
+                            &mut lookup,
+                            &mut plans,
+                            i,
+                            del.delivered_at + 1,
+                        ) {
+                            plans[i].done = Some(DeliveredMessage {
+                                request: RequestId::new(i as u64),
+                                spec: plans[i].spec,
+                                requested_at: plans[i].spec.inject_at,
+                                circuit_at: del.circuit_at,
+                                delivered_at: del.delivered_at,
+                                refusals: del.refusals,
+                            });
+                            completed += 1;
+                        }
+                        last_progress = now;
+                    }
+                }
+            }
+            let idle = rings
+                .iter()
+                .flat_map(|dr| dr.iter())
+                .all(|r| !r.has_due_work());
+            if idle {
+                last_progress = now;
+            }
+            if now - last_progress > stall_window {
+                break;
+            }
+        }
+
+        let mut delivered: Vec<DeliveredMessage> =
+            plans.into_iter().filter_map(|p| p.done).collect();
+        delivered.sort_by_key(|d| d.delivered_at);
+        let stalled = delivered.len() != messages.len();
+        RoutingOutcome {
+            delivered,
+            ticks: now,
+            stalled,
+            peak_busy_channels: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k: u16) -> RmbConfig {
+        RmbConfig::builder(4, k)
+            .head_timeout(256)
+            .retry_backoff(16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn three_d_lattice_routes_corner_to_corner() {
+        let mut lat = RmbLattice::new(vec![4, 4, 4], cfg(2));
+        assert_eq!(lat.node_count(), 64);
+        // Rings: 3 dims x 16 lines x 4 nodes x 2 buses = 384 segments.
+        assert_eq!(lat.link_count(), 384);
+        let out = lat.route_messages(
+            &[MessageSpec::new(NodeId::new(0), NodeId::new(63), 8)],
+            200_000,
+        );
+        assert_eq!(out.delivered.len(), 1, "stalled={}", out.stalled);
+    }
+
+    #[test]
+    fn matches_2d_grid_semantics() {
+        // The lattice's 2-D case routes the same messages the grid does.
+        let mut lat = RmbLattice::new(vec![4, 4], cfg(2));
+        let n = 16u32;
+        let msgs: Vec<MessageSpec> = (0..n)
+            .filter(|&s| n - 1 - s != s)
+            .map(|s| MessageSpec::new(NodeId::new(s), NodeId::new(n - 1 - s), 8))
+            .collect();
+        let out = lat.route_messages(&msgs, 1_000_000);
+        assert_eq!(out.delivered.len(), msgs.len(), "stalled={}", out.stalled);
+    }
+
+    #[test]
+    fn partial_alignment_skips_legs() {
+        let mut lat = RmbLattice::new(vec![3, 3, 3], cfg(2));
+        // (0,1,2) -> (2,1,2): only dimension 0 differs; flat ids:
+        // 0 + 1*3 + 2*9 = 21 -> 2 + 1*3 + 2*9 = 23.
+        let out = lat.route_messages(
+            &[MessageSpec::new(NodeId::new(21), NodeId::new(23), 4)],
+            100_000,
+        );
+        assert_eq!(out.delivered.len(), 1);
+        // Single ring leg: latency well under two-leg cost.
+        assert!(out.delivered[0].latency() < 40, "{}", out.delivered[0].latency());
+    }
+
+    #[test]
+    fn random_traffic_over_3d() {
+        let mut lat = RmbLattice::new(vec![3, 4, 3], cfg(2));
+        let n = 36u32;
+        let msgs: Vec<MessageSpec> = (0..n)
+            .filter(|&s| (s * 13 + 7) % n != s)
+            .map(|s| {
+                MessageSpec::new(NodeId::new(s), NodeId::new((s * 13 + 7) % n), 6)
+                    .at(u64::from(s) * 8)
+            })
+            .collect();
+        let out = lat.route_messages(&msgs, 2_000_000);
+        assert_eq!(out.delivered.len(), msgs.len(), "stalled={}", out.stalled);
+    }
+
+    #[test]
+    #[should_panic(expected = "two dimensions")]
+    fn rejects_one_dimension() {
+        let _ = RmbLattice::new(vec![8], cfg(2));
+    }
+}

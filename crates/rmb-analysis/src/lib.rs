@@ -1,0 +1,35 @@
+//! Analysis tools for the RMB reproduction.
+//!
+//! Three jobs:
+//!
+//! 1. [`cost`] — the closed-form §3.2 comparison: links, cross points and
+//!    VLSI area needed by each architecture to support a k-permutation.
+//! 2. [`structural`] — cross-checks of those formulas against *actually
+//!    constructed* network instances from `rmb-baselines` and `rmb-core`.
+//! 3. [`offline`] — the offline-optimal batch scheduler for the ring
+//!    (clockwise arcs over `k` buses) and the competitive-ratio
+//!    computation the paper's §4 proposes as future work.
+//!
+//! Plus [`RmbRing`], the adapter that lets the RMB simulator take part in
+//! the same permutation-routing experiments as the baseline networks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+mod dual_ring;
+mod grid;
+mod lattice;
+pub mod model;
+pub mod offline;
+mod rmb_adapter;
+pub mod report;
+pub mod structural;
+
+pub use cost::{Architecture, Cost};
+pub use dual_ring::DualRmbRing;
+pub use grid::RmbGrid;
+pub use lattice::RmbLattice;
+pub use offline::{competitive_ratio, offline_schedule, ring_lower_bound, OfflineSchedule};
+pub use rmb_adapter::RmbRing;
+pub use report::Table;

@@ -1,0 +1,92 @@
+//! Property-based tests of the offline scheduler and lower bound.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rmb_analysis::{offline_schedule, ring_lower_bound};
+use rmb_types::{MessageSpec, NodeId, RingSize};
+
+fn build_msgs(n: u32, raw: &[(u32, u32, u32)]) -> Vec<MessageSpec> {
+    raw.iter()
+        .map(|&(s, off, flits)| {
+            let src = s % n;
+            let dst = (src + 1 + off % (n - 1)) % n;
+            MessageSpec::new(NodeId::new(src), NodeId::new(dst), flits % 64)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every greedy schedule is feasible and respects the lower bound.
+    #[test]
+    fn schedule_is_feasible_and_bounded(
+        n in 3u32..40,
+        k in 1u16..9,
+        raw in vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..50),
+    ) {
+        let ring = RingSize::new(n).unwrap();
+        let msgs = build_msgs(n, &raw);
+        let sched = offline_schedule(ring, k, &msgs);
+        prop_assert!(sched.is_feasible(ring, k, &msgs));
+        prop_assert!(sched.makespan >= ring_lower_bound(ring, k, &msgs));
+        prop_assert_eq!(sched.circuits.len(), msgs.len());
+        // Every circuit's window matches its service time.
+        for c in &sched.circuits {
+            let w = rmb_analysis::offline::service_time(ring, &msgs[c.message]);
+            prop_assert_eq!(c.finish - c.start, w);
+        }
+    }
+
+    /// More buses never hurt: the makespan is monotone non-increasing
+    /// in k.
+    #[test]
+    fn makespan_is_monotone_in_buses(
+        n in 3u32..24,
+        raw in vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..30),
+    ) {
+        let ring = RingSize::new(n).unwrap();
+        let msgs = build_msgs(n, &raw);
+        let mut last = u64::MAX;
+        for k in [1u16, 2, 4, 8] {
+            let m = offline_schedule(ring, k, &msgs).makespan;
+            prop_assert!(m <= last, "k={k}: {m} > {last}");
+            last = m;
+        }
+    }
+
+    /// With k as large as the message count, nothing ever waits for a
+    /// bus: the makespan equals the longest single service time (plus
+    /// nothing).
+    #[test]
+    fn unlimited_buses_reach_the_length_bound(
+        n in 3u32..16,
+        raw in vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let ring = RingSize::new(n).unwrap();
+        let msgs = build_msgs(n, &raw);
+        let k = msgs.len() as u16;
+        let sched = offline_schedule(ring, k, &msgs);
+        let longest = msgs
+            .iter()
+            .map(|m| rmb_analysis::offline::service_time(ring, m))
+            .max()
+            .unwrap();
+        prop_assert_eq!(sched.makespan, longest);
+    }
+
+    /// The lower bound is itself monotone: adding a message never lowers
+    /// it.
+    #[test]
+    fn lower_bound_is_monotone_in_messages(
+        n in 3u32..24,
+        k in 1u16..6,
+        raw in vec((any::<u32>(), any::<u32>(), any::<u32>()), 2..30),
+    ) {
+        let ring = RingSize::new(n).unwrap();
+        let msgs = build_msgs(n, &raw);
+        let all = ring_lower_bound(ring, k, &msgs);
+        let fewer = ring_lower_bound(ring, k, &msgs[..msgs.len() - 1]);
+        prop_assert!(fewer <= all);
+    }
+}

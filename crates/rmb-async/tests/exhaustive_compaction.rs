@@ -1,0 +1,104 @@
+//! Exhaustive compaction check: every legal placement of a single
+//! established circuit on a small bus array is driven to a fixpoint by
+//! the threaded compactor, with continuity preserved and the result
+//! being the unique gravity minimum (all hops at the lowest reachable
+//! heights).
+
+use rmb_async::{StaticBus, ThreadedCompactor};
+use rmb_types::{BusIndex, NodeId};
+
+/// All height profiles of the given length over `0..k` whose adjacent
+/// steps stay within the INC's ±1 switching range.
+fn profiles(len: usize, k: u16) -> Vec<Vec<u16>> {
+    let mut out: Vec<Vec<u16>> = (0..k).map(|h| vec![h]).collect();
+    for _ in 1..len {
+        let mut next = Vec::new();
+        for p in &out {
+            let last = *p.last().unwrap() as i32;
+            for step in [-1i32, 0, 1] {
+                let h = last + step;
+                if (0..i32::from(k)).contains(&h) {
+                    let mut q = p.clone();
+                    q.push(h as u16);
+                    next.push(q);
+                }
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[test]
+fn every_single_circuit_placement_sinks_to_the_bottom() {
+    let n = 5u32;
+    let k = 3u16;
+    let mut checked = 0;
+    for span in 1..=3usize {
+        for start in 0..n {
+            for profile in profiles(span, k) {
+                let bus = StaticBus {
+                    start: NodeId::new(start),
+                    heights: profile.iter().map(|&h| BusIndex::new(h)).collect(),
+                };
+                let result = ThreadedCompactor::new(n, k).run(vec![bus]);
+                assert!(
+                    result.reached_fixpoint,
+                    "start={start} profile={profile:?} did not reach a fixpoint"
+                );
+                // A lone established circuit always ends flat on bus 0:
+                // nothing blocks it, and both endpoints attach to PEs.
+                assert!(
+                    result.buses[0].heights.iter().all(|h| h.index() == 0),
+                    "start={start} profile={profile:?} ended at {:?}",
+                    result.buses[0].heights
+                );
+                // Move count equals the total height dropped.
+                let drop: u64 = profile.iter().map(|&h| u64::from(h)).sum();
+                assert_eq!(
+                    result.moves, drop,
+                    "start={start} profile={profile:?}: every unit of height is one move"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // 5 starts * (3 + 7 + 17 valid profiles within k = 3) placements.
+    assert!(checked >= 135, "only {checked} placements checked");
+}
+
+#[test]
+fn every_two_circuit_stack_reaches_a_legal_fixpoint() {
+    // Two flat circuits sharing their whole arc, at every legal height
+    // pair: the fixpoint must always be the {0, 1} stack.
+    let n = 4u32;
+    let k = 4u16;
+    for low in 0..k {
+        for high in 0..k {
+            if low == high {
+                continue;
+            }
+            let a = StaticBus {
+                start: NodeId::new(0),
+                heights: vec![BusIndex::new(low); 2],
+            };
+            let b = StaticBus {
+                start: NodeId::new(0),
+                heights: vec![BusIndex::new(high); 2],
+            };
+            let result = ThreadedCompactor::new(n, k).run(vec![a, b]);
+            assert!(result.reached_fixpoint, "pair ({low}, {high})");
+            let mut finals: Vec<u16> = result
+                .buses
+                .iter()
+                .map(|bus| bus.heights[0].index())
+                .collect();
+            finals.sort_unstable();
+            assert_eq!(finals, vec![0, 1], "pair ({low}, {high})");
+            // Relative order is preserved: the lower input stays lower.
+            let a_final = result.buses[0].heights[0].index();
+            let b_final = result.buses[1].heights[0].index();
+            assert_eq!(a_final < b_final, low < high, "pair ({low}, {high})");
+        }
+    }
+}

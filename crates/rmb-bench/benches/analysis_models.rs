@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the analysis layer (experiment index B3):
+//! §3.2 cost-grid evaluation, the offline circular-arc scheduler, and the
+//! congestion lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmb_analysis::cost::comparison_grid;
+use rmb_analysis::{offline_schedule, ring_lower_bound};
+use rmb_types::{MessageSpec, NodeId, RingSize};
+
+fn batch(n: u32, count: u32) -> Vec<MessageSpec> {
+    (0..count)
+        .map(|i| {
+            let s = (i * 7 + 3) % n;
+            let d = (s + 1 + (i * 13) % (n - 1)) % n;
+            MessageSpec::new(NodeId::new(s), NodeId::new(d), 8 + (i % 24))
+        })
+        .collect()
+}
+
+fn bench_cost_grid(c: &mut Criterion) {
+    c.bench_function("cost_grid_6arch_16points", |b| {
+        let ns = [64u32, 256, 1024, 4096];
+        let ks = [4u16, 8, 16, 32];
+        b.iter(|| comparison_grid(&ns, &ks).len());
+    });
+}
+
+fn bench_offline_scheduler(c: &mut Criterion) {
+    let ring = RingSize::new(64).expect("valid");
+    let mut group = c.benchmark_group("offline_scheduler");
+    for count in [64u32, 256] {
+        let msgs = batch(64, count);
+        group.bench_with_input(BenchmarkId::new("lpt_greedy", count), &msgs, |b, msgs| {
+            b.iter(|| offline_schedule(ring, 8, msgs).makespan);
+        });
+        group.bench_with_input(BenchmarkId::new("lower_bound", count), &msgs, |b, msgs| {
+            b.iter(|| ring_lower_bound(ring, 8, msgs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_grid, bench_offline_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the baseline networks (experiment index B2):
+//! wormhole routing of a fixed permutation through each comparator, plus
+//! the RMB adapter on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmb_analysis::RmbRing;
+use rmb_baselines::{FatTree, Hypercube, Mesh2D, Network};
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+fn reversal(n: u32, flits: u32) -> Vec<MessageSpec> {
+    (0..n)
+        .filter(|&s| n - 1 - s != s)
+        .map(|s| MessageSpec::new(NodeId::new(s), NodeId::new(n - 1 - s), flits))
+        .collect()
+}
+
+fn bench_permutation_routing(c: &mut Criterion) {
+    let n = 64u32;
+    let k = 8u16;
+    let msgs = reversal(n, 8);
+    let mut group = c.benchmark_group("permutation_routing");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("hypercube", n), |b| {
+        b.iter(|| {
+            let mut net = Hypercube::new(n);
+            let out = net.route_messages(&msgs, 1_000_000);
+            assert_eq!(out.delivered.len(), msgs.len());
+            out.makespan()
+        });
+    });
+    group.bench_function(BenchmarkId::new("mesh", n), |b| {
+        b.iter(|| {
+            let mut net = Mesh2D::square(n);
+            let out = net.route_messages(&msgs, 1_000_000);
+            assert_eq!(out.delivered.len(), msgs.len());
+            out.makespan()
+        });
+    });
+    group.bench_function(BenchmarkId::new("fat_tree", n), |b| {
+        b.iter(|| {
+            let mut net = FatTree::new(n, k);
+            let out = net.route_messages(&msgs, 1_000_000);
+            assert_eq!(out.delivered.len(), msgs.len());
+            out.makespan()
+        });
+    });
+    group.bench_function(BenchmarkId::new("rmb", n), |b| {
+        let cfg = RmbConfig::builder(n, k)
+            .head_timeout(16 * u64::from(n))
+            .build()
+            .expect("valid");
+        b.iter(|| {
+            let mut net = RmbRing::new(cfg);
+            let out = net.route_messages(&msgs, 4_000_000);
+            assert_eq!(out.delivered.len(), msgs.len());
+            out.makespan()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_permutation_routing);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the odd/even cycle machinery (experiment index
+//! B4): single-controller stepping and whole-ring activation sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmb_core::{CycleController, CycleFlags, CycleRing, Phase};
+
+fn bench_controller_step(c: &mut Criterion) {
+    c.bench_function("cycle_controller_step", |b| {
+        let mut ctl = CycleController::new(Phase::Even);
+        let up = CycleFlags {
+            data: true,
+            cycle: false,
+        };
+        b.iter(|| {
+            ctl.set_internal_done(true);
+            ctl.step(up, up)
+        });
+    });
+}
+
+fn bench_ring_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_ring_sweep");
+    for n in [16usize, 256, 1024] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("activate_all", n), &n, |b, &n| {
+            let mut ring = CycleRing::new(n);
+            b.iter(|| {
+                for i in 0..n {
+                    ring.set_internal_done(i, true);
+                    ring.activate(i);
+                }
+                ring.min_transitions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_step, bench_ring_sweep);
+criterion_main!(benches);

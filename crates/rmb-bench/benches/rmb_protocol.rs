@@ -1,0 +1,145 @@
+//! Criterion benchmarks of the RMB protocol engine (experiment index B1):
+//! simulation tick cost across network sizes, end-to-end delivery, and a
+//! compaction-heavy steady state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmb_core::RmbNetwork;
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+/// A network with a rotating open workload that keeps roughly half the
+/// segments busy, so tick cost is measured under realistic load.
+fn loaded_network(n: u32, k: u16) -> RmbNetwork {
+    let cfg = RmbConfig::builder(n, k)
+        .head_timeout(8 * u64::from(n))
+        .build()
+        .expect("valid");
+    let mut net = RmbNetwork::new(cfg);
+    for s in 0..n {
+        let spec = MessageSpec::new(NodeId::new(s), NodeId::new((s + n / 3) % n), 10_000)
+            .at(u64::from(s) * 3);
+        if spec.source != spec.destination {
+            net.submit(spec).expect("valid");
+        }
+    }
+    // Warm up into steady state.
+    net.run(16 * u64::from(n));
+    net
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmb_tick");
+    for (n, k) in [(16u32, 4u16), (64, 8), (256, 16)] {
+        group.throughput(Throughput::Elements(u64::from(n) * u64::from(k)));
+        group.bench_with_input(
+            BenchmarkId::new("loaded", format!("N{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let mut net = loaded_network(n, k);
+                b.iter(|| net.tick());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmb_delivery");
+    group.sample_size(20);
+    for n in [16u32, 64] {
+        group.bench_with_input(BenchmarkId::new("rotation", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = RmbConfig::builder(n, 4)
+                    .head_timeout(8 * u64::from(n))
+                    .build()
+                    .expect("valid");
+                let mut net = RmbNetwork::new(cfg);
+                for s in 0..n {
+                    net.submit(MessageSpec::new(
+                        NodeId::new(s),
+                        NodeId::new((s + 3) % n),
+                        16,
+                    ))
+                    .expect("valid");
+                }
+                let report = net.run_to_quiescence(1_000_000);
+                assert_eq!(report.delivered.len(), n as usize);
+                report.ticks
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    // One long circuit injected at the top of a tall bus array: measures
+    // pure compaction churn (the move scan dominates).
+    let mut group = c.benchmark_group("rmb_compaction");
+    group.sample_size(30);
+    for k in [8u16, 32] {
+        group.bench_with_input(BenchmarkId::new("sink_full_bus", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut net = RmbNetwork::new(RmbConfig::new(64, k).expect("valid"));
+                net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(40), 100_000))
+                    .expect("valid");
+                // Run until the circuit has sunk to the bottom everywhere.
+                net.run(8 + 2 * u64::from(k));
+                net.report().compaction_moves
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_microsim_cross(c: &mut Criterion) {
+    // The explicit flit-level engine vs the arithmetic engine on the same
+    // rotation workload: quantifies what the per-flit representation
+    // costs (the cross-validation suite proves they agree; this measures
+    // the price of explicitness).
+    use rmb_core::microsim::FlitLevelRmb;
+    let mut group = c.benchmark_group("engine_comparison");
+    group.sample_size(20);
+    let n = 32u32;
+    // Staggered rotation keeps the ring below saturation so both engines
+    // run to quiescence (simultaneous full permutations can gridlock the
+    // verbatim protocol; see the deadlock study).
+    let build_msgs = || {
+        (0..n)
+            .map(|s| {
+                MessageSpec::new(NodeId::new(s), NodeId::new((s + 5) % n), 16)
+                    .at(u64::from(s) * 12)
+            })
+            .collect::<Vec<_>>()
+    };
+    group.bench_function("arithmetic_engine", |b| {
+        b.iter(|| {
+            let mut net = RmbNetwork::new(RmbConfig::new(n, 4).expect("valid"));
+            for m in build_msgs() {
+                net.submit(m).expect("valid");
+            }
+            let report = net.run_to_quiescence(1_000_000);
+            assert_eq!(report.delivered.len(), n as usize);
+            report.ticks
+        });
+    });
+    group.bench_function("flit_level_engine", |b| {
+        b.iter(|| {
+            let mut sim = FlitLevelRmb::new(RmbConfig::new(n, 4).expect("valid"));
+            for m in build_msgs() {
+                sim.submit(m).expect("valid");
+            }
+            sim.run_to_quiescence(1_000_000);
+            assert_eq!(sim.delivered().len(), n as usize);
+            sim.delivered().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tick,
+    bench_delivery,
+    bench_compaction,
+    bench_microsim_cross
+);
+criterion_main!(benches);

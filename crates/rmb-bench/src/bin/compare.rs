@@ -1,0 +1,66 @@
+//! Regenerates the §3.2 cost comparison (experiments A1–A3) and the
+//! structural cross-checks.
+//!
+//! ```text
+//! compare [--metric links|crosspoints|area] [--check]
+//! ```
+//!
+//! Without `--metric`, all three §3.2 metrics are printed. `--check` adds
+//! the structural cross-check of the link formulas against constructed
+//! network instances.
+
+use rmb_bench::experiments::{comparison_table, cross_check_table, Metric};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metric: Option<Metric> = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metric" => {
+                let Some(m) = it.next() else {
+                    eprintln!("--metric needs a value (links|crosspoints|area)");
+                    std::process::exit(2);
+                };
+                match m.parse() {
+                    Ok(m) => metric = Some(m),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: compare [--metric links|crosspoints|area] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ns = [64u32, 256, 1024, 4096];
+    let ks = [4u16, 8, 16, 32];
+    let metrics: Vec<(Metric, &str)> = match metric {
+        Some(m) => vec![(m, "")],
+        None => vec![
+            (Metric::Links, "A1 — links"),
+            (Metric::Crosspoints, "A2 — cross points"),
+            (Metric::Area, "A3 — VLSI area"),
+        ],
+    };
+    for (m, label) in metrics {
+        if !label.is_empty() {
+            println!("Experiment {label} (paper §3.2), k-permutation capability:\n");
+        }
+        println!("{}", comparison_table(m, &ns, &ks));
+    }
+    if check {
+        println!("Structural cross-checks (constructed instances vs formulas):\n");
+        for (n, k) in [(64u32, 8u16), (256, 16), (1024, 16)] {
+            println!("N = {n}, k = {k}:");
+            println!("{}", cross_check_table(n, k));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Runs the measured experiments of the reproduction.
+//!
+//! ```text
+//! experiments [--exp NAME] [--n N] [--k K] [--flits F] [--seed S] [--json]
+//! ```
+//!
+//! `--json` emits one machine-readable JSON object per experiment instead
+//! of text tables (for plotting or regression tracking).
+//!
+//! Experiment names: `lemma1`, `theorem1`, `permutation`, `competitiveness`,
+//! `ablation`, `load`, `deadlock`, or `all` (default). Sizes default to
+//! N = 64 (N = 16 for `permutation`, which needs a square power of two and
+//! simulates five networks), k = 8, 16-flit bodies, seed 1996.
+
+use rmb_bench::experiments::{
+    ablation_suite, ablation_table, competitiveness, competitiveness_table, deadlock_study,
+    grid_experiment, grid_table, hotspot_experiment, hotspot_table, lemma1_experiment,
+    load_sweep, load_table, multi_send_experiment, multi_send_table, multicast_experiment,
+    multicast_table, permutation_comparison, permutation_table, scaling_experiment,
+    scaling_table, theorem1_experiment, wire_delay_experiment, wire_delay_table,
+};
+
+#[derive(Debug, Clone)]
+struct Options {
+    exp: String,
+    n: u32,
+    k: u16,
+    flits: u32,
+    seed: u64,
+    json: bool,
+}
+
+fn parse() -> Options {
+    let mut opt = Options {
+        exp: "all".into(),
+        n: 64,
+        k: 8,
+        flits: 16,
+        seed: 1996,
+        json: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--exp" => opt.exp = value("--exp"),
+            "--n" => opt.n = value("--n").parse().expect("numeric --n"),
+            "--k" => opt.k = value("--k").parse().expect("numeric --k"),
+            "--flits" => opt.flits = value("--flits").parse().expect("numeric --flits"),
+            "--seed" => opt.seed = value("--seed").parse().expect("numeric --seed"),
+            "--json" => opt.json = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: experiments [--exp lemma1|theorem1|permutation|\
+                     competitiveness|ablation|load|deadlock|multicast|\
+                     wire-delay|grid|multi-send|hotspot|scaling|all] \
+                     [--n N] [--k K] [--flits F] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opt
+}
+
+fn emit<T: serde::Serialize>(json: bool, name: &str, rows: &T, table: impl std::fmt::Display) {
+    if json {
+        let body = serde_json::to_string_pretty(rows).expect("rows serialize");
+        println!("{{\"experiment\": \"{name}\", \"rows\": {body}}}");
+    } else {
+        println!("{table}");
+    }
+}
+
+fn main() {
+    let opt = parse();
+    let all = opt.exp == "all";
+
+    if all || opt.exp == "lemma1" {
+        if !opt.json {
+            println!("Experiment L1 — Lemma 1 (cycle-transition skew bound):\n");
+        }
+        let r = lemma1_experiment(opt.n.min(24), opt.seed);
+        emit(opt.json, "lemma1", &r, r.table());
+        if !opt.json {
+            println!("bound held: {}\n", r.bound_held);
+        }
+    }
+    if all || opt.exp == "theorem1" {
+        if !opt.json {
+            println!("Experiment TH1 — Theorem 1 (full utilisation / admission):\n");
+        }
+        let r = theorem1_experiment(opt.n.min(32), opt.k, 60, opt.seed);
+        emit(opt.json, "theorem1", &r, r.table());
+    }
+    if all || opt.exp == "permutation" {
+        let n = if all { 16 } else { opt.n };
+        if !opt.json {
+            println!("Experiment E2 — measured permutation routing (N = {n}, k = {}):\n", opt.k.min(8));
+        }
+        let rows = permutation_comparison(n, opt.k.min(8), opt.flits, opt.seed);
+        emit(opt.json, "permutation", &rows, permutation_table(&rows));
+    }
+    if all || opt.exp == "competitiveness" {
+        if !opt.json {
+            println!(
+                "Experiment E1 — competitiveness vs offline schedule (N = {}, k = {}):\n",
+                opt.n.min(32),
+                opt.k
+            );
+        }
+        let rows = competitiveness(opt.n.min(32), opt.k, opt.flits, opt.seed);
+        emit(opt.json, "competitiveness", &rows, competitiveness_table(&rows));
+    }
+    if all || opt.exp == "ablation" {
+        if !opt.json {
+            println!("Ablations (N = {}, k = {}):\n", opt.n.min(32), opt.k.min(4));
+        }
+        let rows = ablation_suite(opt.n.min(32), opt.k.min(4), opt.flits, opt.seed);
+        emit(opt.json, "ablation", &rows, ablation_table(&rows));
+    }
+    if all || opt.exp == "load" {
+        if !opt.json {
+            println!("Load sweep (N = {}, k = {}):\n", opt.n.min(32), opt.k);
+        }
+        let rates = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05];
+        let points = load_sweep(opt.n.min(32), opt.k, &rates, 4_000, opt.flits, opt.seed);
+        emit(opt.json, "load", &points, load_table(&points));
+    }
+    if all || opt.exp == "multicast" {
+        if !opt.json {
+            println!("Multicast extension (N = {}, k = {}):\n", opt.n.min(32), opt.k.min(4));
+        }
+        let rows = multicast_experiment(opt.n.min(32), opt.k.min(4), opt.flits);
+        emit(opt.json, "multicast", &rows, multicast_table(&rows));
+    }
+    if all || opt.exp == "wire-delay" {
+        let n = if opt.n.is_power_of_two() { opt.n.min(64) } else { 16 };
+        if !opt.json {
+            println!("Wire-length effects (N = {n}, k = {}):\n", opt.k.min(8));
+        }
+        let rows = wire_delay_experiment(n, opt.k.min(8), opt.flits, opt.seed);
+        emit(opt.json, "wire-delay", &rows, wire_delay_table(&rows));
+    }
+    if all || opt.exp == "grid" {
+        if !opt.json {
+            println!("2-D grid of rings vs one ring (36 nodes, equal wiring):\n");
+        }
+        let rows = grid_experiment(6, opt.k.min(4), opt.flits);
+        emit(opt.json, "grid", &rows, grid_table(&rows));
+    }
+    if all || opt.exp == "scaling" {
+        if !opt.json {
+            println!("Scaling sweep — ring vs dual ring vs grid of rings:\n");
+        }
+        let rows = scaling_experiment(&[4, 6, 8], opt.k.min(2), opt.flits.min(8));
+        emit(opt.json, "scaling", &rows, scaling_table(&rows));
+    }
+    if all || opt.exp == "hotspot" {
+        if !opt.json {
+            println!("Hot-spot traffic vs receive slots (N = {}):\n", opt.n.min(24));
+        }
+        let rows = hotspot_experiment(opt.n.min(24), opt.k.min(4), 0.004, 0.6, opt.seed);
+        emit(opt.json, "hotspot", &rows, hotspot_table(&rows));
+    }
+    if all || opt.exp == "multi-send" {
+        if !opt.json {
+            println!("Multiple sends per PE (hot source, N = {}):\n", opt.n.min(16));
+        }
+        let rows = multi_send_experiment(opt.n.min(16), opt.k.min(4), opt.flits);
+        emit(opt.json, "multi-send", &rows, multi_send_table(&rows));
+    }
+    if all || opt.exp == "deadlock" {
+        if !opt.json {
+            println!("Deadlock study — saturated simultaneous injection (N = 16, k = 4):\n");
+        }
+        let r = deadlock_study(16, 4, 8, 0);
+        emit(opt.json, "deadlock-saturated", &r, r.table());
+        if !opt.json {
+            println!("Below saturation, simultaneous symmetric injection (N = 8, k = 8):\n");
+        }
+        let r = deadlock_study(8, 8, 4, 0);
+        emit(opt.json, "deadlock-symmetric", &r, r.table());
+        if !opt.json {
+            println!("Same workload, injections staggered by 16 ticks:\n");
+        }
+        let r = deadlock_study(8, 8, 4, 16);
+        emit(opt.json, "deadlock-staggered", &r, r.table());
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's figures as text, driven by the live
+//! implementation.
+//!
+//! ```text
+//! figures [--figure N]     # N in 1..=11; default: all
+//! ```
+
+use rmb_bench::figures::figure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            for n in 1..=11 {
+                if n == 10 {
+                    continue; // rendered jointly with figure 9
+                }
+                println!("{}", figure(n));
+                println!("{}", "=".repeat(72));
+            }
+        }
+        [flag, n] if flag == "--figure" => match n.parse::<u32>() {
+            Ok(n @ 1..=11) => println!("{}", figure(n)),
+            _ => {
+                eprintln!("the paper has figures 1 through 11");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: figures [--figure N]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's tables.
+//!
+//! ```text
+//! tables [--table 1|2]     # default: both
+//! ```
+
+use rmb_bench::tables::{table1, table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = match args.as_slice() {
+        [] => None,
+        [flag, n] if flag == "--table" => Some(n.as_str()),
+        _ => {
+            eprintln!("usage: tables [--table 1|2]");
+            std::process::exit(2);
+        }
+    };
+    if which.is_none() || which == Some("1") {
+        println!("Table 1 — Interconnections between input and output ports of an INC");
+        println!("(viewed from the output port):\n");
+        println!("{}", table1());
+    }
+    if which.is_none() || which == Some("2") {
+        println!("Table 2 — States/signals used in odd-even cycle control:\n");
+        println!("{}", table2());
+    }
+    if let Some(other) = which {
+        if other != "1" && other != "2" {
+            eprintln!("the paper has tables 1 and 2");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Experiments A1–A3 — the §3.2 closed-form comparison tables, plus the
+//! structural cross-checks backing them.
+
+use rmb_analysis::cost::{comparison_grid, Cost};
+use rmb_analysis::report::fnum;
+use rmb_analysis::structural::all_checks;
+use rmb_analysis::Table;
+
+/// Which §3.2 metric a comparison table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Link counts.
+    Links,
+    /// Cross-point counts.
+    Crosspoints,
+    /// VLSI area.
+    Area,
+}
+
+impl Metric {
+    fn pick(self, c: &Cost) -> f64 {
+        match self {
+            Metric::Links => c.links,
+            Metric::Crosspoints => c.crosspoints,
+            Metric::Area => c.area,
+        }
+    }
+}
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "links" => Ok(Metric::Links),
+            "crosspoints" => Ok(Metric::Crosspoints),
+            "area" => Ok(Metric::Area),
+            other => Err(format!("unknown metric '{other}' (links|crosspoints|area)")),
+        }
+    }
+}
+
+/// Builds the §3.2 comparison table for one metric over an `(N, k)` grid.
+pub fn comparison_table(metric: Metric, ns: &[u32], ks: &[u16]) -> Table {
+    let mut t = Table::new(vec!["N", "k", "architecture", "value"]);
+    for row in comparison_grid(ns, ks) {
+        t.row(vec![
+            row.n.to_string(),
+            row.k.to_string(),
+            row.arch.to_string(),
+            fnum(metric.pick(&row.cost)),
+        ]);
+    }
+    t
+}
+
+/// Builds the structural cross-check table at one `(N, k)` point.
+pub fn cross_check_table(n: u32, k: u16) -> Table {
+    let mut t = Table::new(vec![
+        "architecture",
+        "model links",
+        "structural links",
+        "rel. error",
+        "convention",
+    ]);
+    for c in all_checks(n, k) {
+        t.row(vec![
+            c.arch.to_string(),
+            fnum(c.model_links),
+            fnum(c.structural_links),
+            format!("{:.4}", c.relative_error()),
+            c.convention.to_owned(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_the_grid() {
+        let t = comparison_table(Metric::Links, &[64, 256], &[4, 16]);
+        assert_eq!(t.len(), 2 * 2 * 6);
+        let s = t.to_string();
+        assert!(s.contains("RMB"));
+        assert!(s.contains("fat-tree"));
+    }
+
+    #[test]
+    fn metric_parsing() {
+        assert_eq!("links".parse::<Metric>().unwrap(), Metric::Links);
+        assert_eq!("area".parse::<Metric>().unwrap(), Metric::Area);
+        assert!("volume".parse::<Metric>().is_err());
+    }
+
+    #[test]
+    fn cross_checks_are_tight() {
+        let t = cross_check_table(64, 4);
+        assert_eq!(t.len(), 5);
+        let s = t.to_string();
+        // All relative errors in this table round below 0.2.
+        for line in s.lines().skip(2) {
+            let err: f64 = line
+                .split_whitespace()
+                .nth(3)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
+            assert!(err < 0.2, "{line}");
+        }
+    }
+}

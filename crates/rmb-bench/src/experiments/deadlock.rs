@@ -1,0 +1,144 @@
+//! The saturation deadlock study — a reproduction *finding*.
+//!
+//! The paper argues that restricting insertion to the top bus "avoids any
+//! deadlocks while establishing virtual bus connection" (§2.2). That holds
+//! for establishment ordering, but a *saturated* one-way ring — total
+//! segment demand above `N·k` injected simultaneously — reaches a
+//! circular wait of partial circuits in which no header can ever advance.
+//! This experiment demonstrates the state and shows that the head-timeout
+//! extension (refuse headers blocked too long) restores progress.
+
+use serde::Serialize;
+use rmb_analysis::Table;
+use rmb_core::RmbNetwork;
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+/// Result of the deadlock study at one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeadlockResult {
+    /// Ring size.
+    pub n: u32,
+    /// Bus count.
+    pub k: u16,
+    /// Did the verbatim protocol stall?
+    pub verbatim_stalled: bool,
+    /// Messages the verbatim protocol delivered before stalling.
+    pub verbatim_delivered: usize,
+    /// Did the head-timeout variant complete?
+    pub timeout_completed: bool,
+    /// Makespan of the head-timeout variant (0 if incomplete).
+    pub timeout_makespan: u64,
+    /// Refusals the head-timeout variant needed.
+    pub timeout_refusals: u64,
+}
+
+/// Runs the all-to-opposite permutation, with and without the head
+/// timeout. `stagger` spaces the injection times (`s * stagger`); zero
+/// means fully simultaneous, the adversarial case.
+pub fn deadlock_study(n: u32, k: u16, flits: u32, stagger: u64) -> DeadlockResult {
+    let batch: Vec<MessageSpec> = (0..n)
+        .map(|s| {
+            MessageSpec::new(NodeId::new(s), NodeId::new((s + n / 2) % n), flits)
+                .at(u64::from(s) * stagger)
+        })
+        .collect();
+
+    let mut verbatim = RmbNetwork::new(RmbConfig::new(n, k).expect("valid"));
+    verbatim
+        .submit_all(batch.iter().copied())
+        .expect("valid workload");
+    let vr = verbatim.run_to_quiescence(2_000_000);
+
+    let cfg = RmbConfig::builder(n, k)
+        .head_timeout(8 * u64::from(n))
+        .retry_backoff(2 * u64::from(n))
+        .build()
+        .expect("valid");
+    let mut with_timeout = RmbNetwork::new(cfg);
+    with_timeout
+        .submit_all(batch.iter().copied())
+        .expect("valid workload");
+    let tr = with_timeout.run_to_quiescence(8_000_000);
+
+    DeadlockResult {
+        n,
+        k,
+        verbatim_stalled: vr.stalled,
+        verbatim_delivered: vr.delivered.len(),
+        timeout_completed: tr.delivered.len() == batch.len(),
+        timeout_makespan: if tr.delivered.len() == batch.len() {
+            tr.delivered.iter().map(|d| d.delivered_at).max().unwrap_or(0)
+        } else {
+            0
+        },
+        timeout_refusals: tr.refusals,
+    }
+}
+
+impl DeadlockResult {
+    /// Renders the result as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["variant", "outcome", "delivered", "detail"]);
+        t.row(vec![
+            "paper verbatim".into(),
+            if self.verbatim_stalled {
+                "circular wait (deadlock)".into()
+            } else {
+                "completed".into()
+            },
+            format!("{}/{}", self.verbatim_delivered, self.n),
+            String::new(),
+        ]);
+        t.row(vec![
+            "with head timeout".into(),
+            if self.timeout_completed {
+                "completed".into()
+            } else {
+                "incomplete".into()
+            },
+            format!("{}/{}", self.n, self.n),
+            format!(
+                "makespan {}, {} refusals",
+                self.timeout_makespan, self.timeout_refusals
+            ),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_deadlocks_verbatim_but_not_with_timeout() {
+        // Demand 16 * 8 hops = 128 segments > N*k = 64: saturated.
+        let r = deadlock_study(16, 4, 8, 0);
+        assert!(r.verbatim_stalled, "{r:?}");
+        assert_eq!(r.verbatim_delivered, 0);
+        assert!(r.timeout_completed, "{r:?}");
+        assert!(r.timeout_refusals > 0);
+        assert_eq!(r.table().len(), 2);
+    }
+
+    #[test]
+    fn simultaneous_symmetric_injection_gridlocks_even_below_saturation() {
+        // Finding: 8 * 4 = 32 segments demanded of N*k = 64 — only half
+        // capacity — yet fully simultaneous symmetric injection still
+        // gridlocks: every trail sinks one level behind its parked head,
+        // forming ascending [k-2, k-1] profiles that pin each other all
+        // the way around the ring.
+        let r = deadlock_study(8, 8, 4, 0);
+        assert!(r.verbatim_stalled, "{r:?}");
+        assert!(r.timeout_completed, "{r:?}");
+    }
+
+    #[test]
+    fn staggered_injection_drains_verbatim() {
+        // The same below-saturation workload with even slightly staggered
+        // start times completes under the paper's verbatim protocol.
+        let r = deadlock_study(8, 8, 4, 16);
+        assert!(!r.verbatim_stalled, "{r:?}");
+        assert_eq!(r.verbatim_delivered, 8);
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment L1 — Lemma 1: neighbouring INCs' cycle-transition counts
+//! never differ by more than one, measured under skewed clocks in both
+//! the tick simulator and the threaded implementation.
+
+use serde::Serialize;
+use rmb_analysis::Table;
+use rmb_async::ThreadedCycleRing;
+use rmb_core::{CompactionMode, RmbNetwork};
+use rmb_sim::SimRng;
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+/// Result of the Lemma 1 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Lemma1Result {
+    /// Ring size.
+    pub n: u32,
+    /// Max skew observed in the tick simulator with jittered activation.
+    pub sim_max_skew: u64,
+    /// Minimum transitions completed in the tick simulator.
+    pub sim_min_transitions: u64,
+    /// Max skew observed across real threads, checked at each transition.
+    pub threaded_max_skew: u64,
+    /// Minimum transitions completed by any thread.
+    pub threaded_min_transitions: u64,
+    /// `true` when both runs stayed within the Lemma 1 bound.
+    pub bound_held: bool,
+}
+
+/// Runs Lemma 1 under (a) the handshake-mode tick simulator with random
+/// activation periods and live traffic, and (b) the threaded cycle ring
+/// with pathological pacing.
+pub fn lemma1_experiment(n: u32, seed: u64) -> Lemma1Result {
+    // (a) Tick simulator with jittered per-INC activation and traffic.
+    let mut rng = SimRng::seed(seed);
+    let periods: Vec<u64> = (0..n).map(|_| 1 + rng.index(6).unwrap() as u64).collect();
+    let mut net = RmbNetwork::new(RmbConfig::new(n, 4).expect("valid"));
+    net.set_compaction_mode(CompactionMode::Handshake { periods });
+    for s in 0..n {
+        let dst = (s + 1 + rng.index((n - 1) as usize).unwrap() as u32) % n;
+        if dst != s {
+            net.submit(MessageSpec::new(NodeId::new(s), NodeId::new(dst), 16))
+                .expect("valid");
+        }
+    }
+    let mut sim_max_skew = 0;
+    while !net.is_quiescent() && net.now().get() < 200_000 {
+        net.tick();
+        sim_max_skew = sim_max_skew.max(net.max_cycle_skew().unwrap_or(0));
+    }
+    // Let the cycles keep running a while after traffic drains.
+    for _ in 0..2_000 {
+        net.tick();
+        sim_max_skew = sim_max_skew.max(net.max_cycle_skew().unwrap_or(0));
+    }
+    let sim_transitions = net.cycle_transitions().unwrap_or_default();
+    let sim_min_transitions = sim_transitions.iter().copied().min().unwrap_or(0);
+
+    // (b) Real threads.
+    let stats = ThreadedCycleRing::new(n as usize)
+        .pacing(vec![0, 2_000, 10, 500, 0, 100])
+        .min_transitions(400)
+        .run();
+    let threaded_min_transitions = stats.transitions.iter().copied().min().unwrap_or(0);
+
+    Lemma1Result {
+        n,
+        sim_max_skew,
+        sim_min_transitions,
+        threaded_max_skew: stats.max_observed_skew,
+        threaded_min_transitions,
+        bound_held: sim_max_skew <= 1 && stats.lemma1_held,
+    }
+}
+
+impl Lemma1Result {
+    /// Renders the result as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["setting", "max neighbour skew", "min transitions"]);
+        t.row(vec![
+            format!("tick simulator, jittered clocks (N={})", self.n),
+            self.sim_max_skew.to_string(),
+            self.sim_min_transitions.to_string(),
+        ]);
+        t.row(vec![
+            format!("OS threads, pathological pacing (N={})", self.n),
+            self.threaded_max_skew.to_string(),
+            self.threaded_min_transitions.to_string(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_bound_holds() {
+        let r = lemma1_experiment(10, 42);
+        assert!(r.bound_held, "{r:?}");
+        assert!(r.sim_max_skew <= 1);
+        assert!(r.threaded_max_skew <= 1);
+        assert!(r.sim_min_transitions > 0);
+        assert!(r.threaded_min_transitions >= 400);
+        assert_eq!(r.table().len(), 2);
+    }
+}

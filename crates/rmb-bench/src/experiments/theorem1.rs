@@ -1,0 +1,163 @@
+//! Experiment TH1 — Theorem 1: full utilisation of the multiple bus
+//! system. A probe request whose clockwise path has a free segment on
+//! every hop (the availability oracle) must be served without refusal,
+//! however the existing circuits happen to be placed.
+
+use serde::Serialize;
+use rmb_analysis::Table;
+use rmb_core::RmbNetwork;
+use rmb_sim::SimRng;
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+/// Result of the Theorem 1 admission experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Theorem1Result {
+    /// Trials in which the oracle said the probe's path was feasible.
+    pub feasible_trials: u32,
+    /// Of those, probes delivered without a single refusal.
+    pub admitted_without_refusal: u32,
+    /// Trials the oracle rejected (left unsubmitted — no claim applies).
+    pub infeasible_trials: u32,
+    /// Mean probe admission latency (request to circuit) in ticks.
+    pub mean_setup_latency: f64,
+}
+
+impl Theorem1Result {
+    /// Fraction of oracle-feasible probes served refusal-free; Theorem 1
+    /// asserts this is 1.
+    pub fn admission_rate(&self) -> f64 {
+        if self.feasible_trials == 0 {
+            return 1.0;
+        }
+        f64::from(self.admitted_without_refusal) / f64::from(self.feasible_trials)
+    }
+
+    /// Renders the result as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["metric", "value"]);
+        t.row(vec![
+            "oracle-feasible probe trials".into(),
+            self.feasible_trials.to_string(),
+        ]);
+        t.row(vec![
+            "admitted without refusal".into(),
+            self.admitted_without_refusal.to_string(),
+        ]);
+        t.row(vec![
+            "admission rate".into(),
+            format!("{:.3}", self.admission_rate()),
+        ]);
+        t.row(vec![
+            "oracle-infeasible (skipped)".into(),
+            self.infeasible_trials.to_string(),
+        ]);
+        t.row(vec![
+            "mean probe setup latency".into(),
+            format!("{:.1}", self.mean_setup_latency),
+        ]);
+        t
+    }
+}
+
+/// Runs `trials` probe experiments on an `n`-node, `k`-bus RMB loaded
+/// with random background circuits.
+pub fn theorem1_experiment(n: u32, k: u16, trials: u32, seed: u64) -> Theorem1Result {
+    let mut rng = SimRng::seed(seed);
+    let mut feasible = 0;
+    let mut admitted = 0;
+    let mut infeasible = 0;
+    let mut setup_sum = 0.0;
+    for trial in 0..trials {
+        let mut net = RmbNetwork::new(RmbConfig::new(n, k).expect("valid"));
+        // Background: a random batch of long-running circuits, staggered
+        // so they establish cleanly, then allowed to settle.
+        let background = 1 + rng.index(k as usize).unwrap() as u32;
+        for b in 0..background {
+            let src = rng.index(n as usize).unwrap() as u32;
+            let dst = (src + 1 + rng.index((n - 1) as usize).unwrap() as u32) % n;
+            net.submit(
+                MessageSpec::new(NodeId::new(src), NodeId::new(dst), 100_000).at(u64::from(b) * 8),
+            )
+            .expect("valid");
+        }
+        net.run(u64::from(background) * 8 + 4 * u64::from(n));
+
+        // Probe: a random message between idle endpoints.
+        let (mut src, mut dst) = (0u32, 0u32);
+        let mut found = false;
+        for _ in 0..50 {
+            src = rng.index(n as usize).unwrap() as u32;
+            dst = (src + 1 + rng.index((n - 1) as usize).unwrap() as u32) % n;
+            let busy_endpoint = net.virtual_buses().any(|b| {
+                b.spec.source.index() == src || b.spec.destination.index() == dst
+            });
+            if !busy_endpoint {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            infeasible += 1;
+            continue;
+        }
+        if !net.path_feasible(NodeId::new(src), NodeId::new(dst)) {
+            infeasible += 1;
+            continue;
+        }
+        feasible += 1;
+        let probe_at = net.now().get();
+        net.submit(MessageSpec::new(NodeId::new(src), NodeId::new(dst), 4).at(probe_at))
+            .expect("valid");
+        // Run until the probe finishes (background circuits are huge and
+        // keep streaming).
+        let deadline = probe_at + 10_000;
+        let mut probe_done = None;
+        while net.now().get() < deadline {
+            net.tick();
+            if let Some(d) = net
+                .report()
+                .delivered
+                .iter()
+                .find(|d| d.spec.source == NodeId::new(src) && d.spec.data_flits == 4)
+            {
+                probe_done = Some(*d);
+                break;
+            }
+        }
+        if let Some(d) = probe_done {
+            if d.refusals == 0 {
+                admitted += 1;
+                setup_sum += d.setup_latency() as f64;
+            }
+        }
+        let _ = trial;
+    }
+    Theorem1Result {
+        feasible_trials: feasible,
+        admitted_without_refusal: admitted,
+        infeasible_trials: infeasible,
+        mean_setup_latency: if admitted > 0 {
+            setup_sum / f64::from(admitted)
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_probes_are_always_admitted() {
+        let r = theorem1_experiment(12, 3, 40, 7);
+        assert!(r.feasible_trials > 10, "{r:?}");
+        assert_eq!(
+            r.admission_rate(),
+            1.0,
+            "Theorem 1 violated: {r:?}"
+        );
+        assert!(r.mean_setup_latency > 0.0);
+        assert!(r.table().len() >= 5);
+    }
+}

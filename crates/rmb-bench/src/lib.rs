@@ -1,0 +1,13 @@
+//! The experiment harness for the RMB reproduction.
+//!
+//! Every table and figure of the paper maps to a function here (see
+//! DESIGN.md's experiment index); the `tables`, `figures`, `compare` and
+//! `experiments` binaries are thin command-line wrappers around this
+//! library so that everything they print is also exercised by tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod tables;

@@ -1,0 +1,1160 @@
+//! The RMB ring network simulator.
+//!
+//! Ties the pieces together: N nodes on a ring, k physical bus segments
+//! per hop, the routing protocol of §2.2–2.3 (header flit insertion at the
+//! top bus, extension one hop per tick, Hack/Dack/Fack/Nack, data flits
+//! only after the Hack, tail-first teardown), and the compaction protocol
+//! of §2.4–2.5 in two flavours:
+//!
+//! * **synchronous** — an idealised global odd/even alternation, one phase
+//!   per tick (used by the large experiments), and
+//! * **handshake** — every INC runs the paper's five-rule cycle controller
+//!   off its own (possibly skewed) activation clock, exactly as §2.5
+//!   prescribes (used by the fidelity and Lemma 1 experiments).
+//!
+//! One tick is the time a flit or acknowledgement needs to cross one bus
+//! segment. Within a tick the simulator performs, in order: stream and
+//! teardown progression, destination decisions, head extensions,
+//! injections, one compaction activation, statistics.
+
+use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
+use crate::cycle::CycleRing;
+use crate::invariants::{check_network, InvariantViolation};
+use crate::virtual_bus::{BusState, StreamState, VirtualBus};
+use rmb_sim::stats::OnlineStats;
+use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
+use rmb_sim::Tick;
+use rmb_types::{
+    AckMode, BusIndex, DeliveredMessage, InsertionPolicy, MessageSpec, NodeId, ProtocolError,
+    RequestId, RingSize, RmbConfig, VirtualBusId,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which compaction engine drives the odd/even cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Global lockstep: tick `t` runs the `Phase::of_tick(t)` cycle at
+    /// every INC simultaneously.
+    Synchronous,
+    /// Per-INC five-rule cycle controllers (§2.5). INC `i` is activated on
+    /// ticks where `tick % periods[i] == 0`, modelling independent clocks.
+    Handshake {
+        /// Activation period per INC (1 = every tick).
+        periods: Vec<u64>,
+    },
+}
+
+/// A request waiting at its source node for injection.
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    request: RequestId,
+    spec: MessageSpec,
+    taps: Vec<NodeId>,
+    requested_at: u64,
+    refusals: u32,
+    not_before: u64,
+}
+
+/// Per-node state: the PE-side send/receive slots and the HF buffer.
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    pending: VecDeque<PendingRequest>,
+    sends_active: u32,
+    receives_active: u32,
+}
+
+/// Summary of a completed (or aborted) simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Messages delivered in full, in completion order.
+    pub delivered: Vec<DeliveredMessage>,
+    /// Total `Nack` refusals issued.
+    pub refusals: u64,
+    /// Total compaction moves performed.
+    pub compaction_moves: u64,
+    /// Mean fraction of busy physical segments over the run.
+    pub mean_utilization: f64,
+    /// Peak number of simultaneously live virtual buses.
+    pub peak_virtual_buses: usize,
+    /// Requests submitted but not delivered when the run ended.
+    pub undelivered: usize,
+    /// `true` if the run ended because no progress was being made while
+    /// work remained (a routing stall / deadlock).
+    pub stalled: bool,
+}
+
+impl RunReport {
+    /// Tick of the last delivery, or 0 when nothing was delivered.
+    pub fn makespan(&self) -> u64 {
+        self.delivered
+            .iter()
+            .map(|d| d.delivered_at)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean end-to-end message latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered.is_empty() {
+            return 0.0;
+        }
+        self.delivered.iter().map(|d| d.latency() as f64).sum::<f64>()
+            / self.delivered.len() as f64
+    }
+
+    /// Histogram of end-to-end latencies with the given bin width
+    /// (64 bins plus overflow).
+    pub fn latency_histogram(&self, bin_width: u64) -> rmb_sim::stats::Histogram {
+        let mut h = rmb_sim::stats::Histogram::new(bin_width.max(1), 64);
+        for d in &self.delivered {
+            h.record(d.latency());
+        }
+        h
+    }
+
+    /// Mean circuit set-up latency.
+    pub fn mean_setup_latency(&self) -> f64 {
+        if self.delivered.is_empty() {
+            return 0.0;
+        }
+        self.delivered
+            .iter()
+            .map(|d| d.setup_latency() as f64)
+            .sum::<f64>()
+            / self.delivered.len() as f64
+    }
+}
+
+/// The RMB network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_core::RmbNetwork;
+/// use rmb_types::{MessageSpec, NodeId, RmbConfig};
+///
+/// let cfg = RmbConfig::new(8, 2)?;
+/// let mut net = RmbNetwork::new(cfg);
+/// net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(4), 8))?;
+/// let report = net.run_to_quiescence(10_000);
+/// assert_eq!(report.delivered.len(), 1);
+/// assert!(!report.stalled);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct RmbNetwork {
+    cfg: RmbConfig,
+    now: Tick,
+    /// `segments[hop][bus]`: occupancy of the bus segment between node
+    /// `hop` and node `hop + 1`.
+    segments: Vec<Vec<Option<VirtualBusId>>>,
+    buses: BTreeMap<VirtualBusId, VirtualBus>,
+    nodes: Vec<NodeState>,
+    mode: CompactionMode,
+    cycles: Option<CycleRing>,
+    next_request: u64,
+    next_bus: u64,
+    busy_segments: usize,
+    // Counters and stats.
+    delivered: Vec<DeliveredMessage>,
+    refusals: u64,
+    compaction_moves: u64,
+    utilization: OnlineStats,
+    peak_virtual_buses: usize,
+    submitted: u64,
+    last_progress: u64,
+    // Tracing / checking.
+    recorder: Option<VecSink>,
+    checked: bool,
+    /// Previous heights per live bus, kept only in checked mode to verify
+    /// downward-only motion.
+    height_history: std::collections::HashMap<u64, Vec<u16>>,
+}
+
+impl RmbNetwork {
+    /// Creates an idle network from a configuration, using the synchronous
+    /// compactor.
+    pub fn new(cfg: RmbConfig) -> Self {
+        let n = cfg.nodes().as_usize();
+        let k = cfg.buses() as usize;
+        RmbNetwork {
+            cfg,
+            now: Tick::ZERO,
+            segments: vec![vec![None; k]; n],
+            buses: BTreeMap::new(),
+            nodes: vec![NodeState::default(); n],
+            mode: CompactionMode::Synchronous,
+            cycles: None,
+            next_request: 0,
+            next_bus: 0,
+            busy_segments: 0,
+            delivered: Vec::new(),
+            refusals: 0,
+            compaction_moves: 0,
+            utilization: OnlineStats::default(),
+            peak_virtual_buses: 0,
+            submitted: 0,
+            last_progress: 0,
+            recorder: None,
+            checked: false,
+            height_history: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Switches the compaction engine. Resets the handshake controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handshake mode's `periods` length differs from `N` or
+    /// contains a zero.
+    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+        if let CompactionMode::Handshake { periods } = &mode {
+            assert_eq!(
+                periods.len(),
+                self.cfg.nodes().as_usize(),
+                "one activation period per INC"
+            );
+            assert!(periods.iter().all(|&p| p > 0), "periods must be positive");
+            self.cycles = Some(CycleRing::new(self.cfg.nodes().as_usize()));
+        } else {
+            self.cycles = None;
+        }
+        self.mode = mode;
+    }
+
+    /// Starts recording protocol trace events.
+    pub fn enable_recording(&mut self) {
+        self.recorder = Some(VecSink::new());
+    }
+
+    /// Takes the recorded events (and keeps recording into a fresh sink).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        match self.recorder.take() {
+            Some(sink) => {
+                self.recorder = Some(VecSink::new());
+                sink.into_events()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Enables per-tick invariant checking.
+    ///
+    /// # Panics
+    ///
+    /// Once enabled, `tick` panics on the first invariant violation — this
+    /// is meant for tests and small fidelity runs.
+    pub fn set_checked(&mut self, on: bool) {
+        self.checked = on;
+    }
+
+    /// The static configuration.
+    pub const fn config(&self) -> &RmbConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub const fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The ring size.
+    pub fn ring(&self) -> RingSize {
+        self.cfg.nodes()
+    }
+
+    /// Number of live virtual buses.
+    pub fn active_virtual_buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Iterates over the live virtual buses in id order.
+    pub fn virtual_buses(&self) -> impl Iterator<Item = &VirtualBus> {
+        self.buses.values()
+    }
+
+    /// Looks up a live virtual bus.
+    pub fn virtual_bus(&self, id: VirtualBusId) -> Option<&VirtualBus> {
+        self.buses.get(&id)
+    }
+
+    /// Requests not yet injected (buffered HFs plus backoff waiters).
+    pub fn pending_requests(&self) -> usize {
+        self.nodes.iter().map(|n| n.pending.len()).sum()
+    }
+
+    /// Count of currently busy physical segments.
+    pub const fn busy_segments(&self) -> usize {
+        self.busy_segments
+    }
+
+    /// Instantaneous utilisation: busy segments / (N·k).
+    pub fn utilization(&self) -> f64 {
+        let total = self.cfg.nodes().as_usize() * self.cfg.buses() as usize;
+        self.busy_segments as f64 / total as f64
+    }
+
+    /// The occupant of the segment between `hop` and `hop + 1` at height
+    /// `bus`, if any.
+    pub fn segment_owner(&self, hop: NodeId, bus: BusIndex) -> Option<VirtualBusId> {
+        self.segments
+            .get(hop.as_usize())
+            .and_then(|h| h.get(bus.as_usize()))
+            .copied()
+            .flatten()
+    }
+
+    /// `true` when every hop of the clockwise path `src → dst` has at
+    /// least one free segment — Theorem 1's availability oracle.
+    pub fn path_feasible(&self, src: NodeId, dst: NodeId) -> bool {
+        let ring = self.ring();
+        let span = ring.clockwise_distance(src, dst);
+        (0..span).all(|j| {
+            let hop = ring.advance(src, j).as_usize();
+            self.segments[hop].iter().any(|s| s.is_none())
+        })
+    }
+
+    /// `true` when nothing is in flight and nothing is waiting.
+    pub fn is_quiescent(&self) -> bool {
+        self.buses.is_empty() && self.nodes.iter().all(|n| n.pending.is_empty())
+    }
+
+    /// `true` when some circuit is live or some pending request is already
+    /// due for injection (as opposed to scheduled for a future tick).
+    pub fn has_due_work(&self) -> bool {
+        !self.buses.is_empty()
+            || self.nodes.iter().any(|n| {
+                n.pending
+                    .front()
+                    .is_some_and(|p| p.not_before <= self.now.get())
+            })
+    }
+
+    /// Submits a message for delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownNode`] if an endpoint is outside
+    /// the ring and [`ProtocolError::SelfMessage`] if source equals
+    /// destination.
+    pub fn submit(&mut self, spec: MessageSpec) -> Result<RequestId, ProtocolError> {
+        let ring = self.ring();
+        if !ring.contains(spec.source) {
+            return Err(ProtocolError::UnknownNode(spec.source));
+        }
+        if !ring.contains(spec.destination) {
+            return Err(ProtocolError::UnknownNode(spec.destination));
+        }
+        if spec.source == spec.destination {
+            return Err(ProtocolError::SelfMessage(spec.source));
+        }
+        let request = RequestId::new(self.next_request);
+        self.next_request += 1;
+        self.submitted += 1;
+        self.nodes[spec.source.as_usize()]
+            .pending
+            .push_back(PendingRequest {
+                request,
+                spec,
+                taps: Vec::new(),
+                requested_at: spec.inject_at,
+                refusals: 0,
+                not_before: spec.inject_at,
+            });
+        Ok(request)
+    }
+
+    /// Submits a multicast: one circuit from `source` that delivers the
+    /// same `data_flits`-flit body to every node in `destinations`.
+    ///
+    /// This implements the extension the paper names but leaves out of
+    /// scope (§1: "the RMB concept can also be extended to support
+    /// broadcasting and multicasting"). The header flit arms a *tap* at
+    /// each intermediate destination as it passes — taking that node's
+    /// receive port — and the circuit runs to the farthest destination;
+    /// every tap then receives the stream as it flows by. If any
+    /// destination's receive port is busy, the whole circuit is refused
+    /// with a `Nack` and retried later, keeping the paper's
+    /// no-intermediate-buffering property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownNode`] for endpoints outside the
+    /// ring and [`ProtocolError::SelfMessage`] if `destinations` is empty,
+    /// contains the source, or contains duplicates.
+    pub fn submit_multicast(
+        &mut self,
+        source: NodeId,
+        destinations: &[NodeId],
+        data_flits: u32,
+        inject_at: u64,
+    ) -> Result<RequestId, ProtocolError> {
+        let ring = self.ring();
+        if !ring.contains(source) {
+            return Err(ProtocolError::UnknownNode(source));
+        }
+        if destinations.is_empty() {
+            return Err(ProtocolError::SelfMessage(source));
+        }
+        let mut sorted = destinations.to_vec();
+        for d in &sorted {
+            if !ring.contains(*d) {
+                return Err(ProtocolError::UnknownNode(*d));
+            }
+            if *d == source {
+                return Err(ProtocolError::SelfMessage(source));
+            }
+        }
+        sorted.sort_by_key(|d| ring.clockwise_distance(source, *d));
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ProtocolError::SelfMessage(source));
+        }
+        let final_dest = *sorted.last().expect("non-empty");
+        let taps = sorted[..sorted.len() - 1].to_vec();
+        let request = RequestId::new(self.next_request);
+        self.next_request += 1;
+        self.submitted += sorted.len() as u64;
+        self.nodes[source.as_usize()].pending.push_back(PendingRequest {
+            request,
+            spec: MessageSpec::new(source, final_dest, data_flits).at(inject_at),
+            taps,
+            requested_at: inject_at,
+            refusals: 0,
+            not_before: inject_at,
+        });
+        Ok(request)
+    }
+
+    /// Submits a batch of messages; returns their request ids.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid specification, leaving earlier ones
+    /// submitted.
+    pub fn submit_all<I>(&mut self, specs: I) -> Result<Vec<RequestId>, ProtocolError>
+    where
+        I: IntoIterator<Item = MessageSpec>,
+    {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn tick(&mut self) {
+        self.progress_streams_and_teardowns();
+        self.decide_at_destinations();
+        self.extend_heads();
+        self.inject_pending();
+        self.run_compaction();
+        self.finish_tick();
+    }
+
+    /// Advances the simulation by `n` ticks.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Runs until quiescence, stall, or `max_ticks`, and reports.
+    pub fn run_to_quiescence(&mut self, max_ticks: u64) -> RunReport {
+        // A parked header only makes progress again after `head_timeout`
+        // ticks (its refusal is the progress event), so the stall window
+        // must comfortably exceed it.
+        let stall_window = 4 * self.cfg.nodes().get() as u64
+            + 8 * self.cfg.node.retry_backoff
+            + 3 * self.cfg.head_timeout.unwrap_or(0)
+            + self
+                .buses
+                .values()
+                .map(|b| b.spec.data_flits as u64)
+                .max()
+                .unwrap_or(0)
+            + 64;
+        let mut stalled = false;
+        while self.now.get() < max_ticks {
+            if self.is_quiescent() {
+                break;
+            }
+            self.tick();
+            if !self.has_due_work() {
+                // Only future-scheduled injections / backoffs remain; the
+                // clock itself is the progress.
+                self.last_progress = self.now.get();
+            }
+            if self.now.get().saturating_sub(self.last_progress) > stall_window {
+                stalled = true;
+                break;
+            }
+        }
+        self.report_with(stalled)
+    }
+
+    /// Builds a report of everything observed so far.
+    pub fn report(&self) -> RunReport {
+        self.report_with(false)
+    }
+
+    /// The messages delivered so far, in completion order, without
+    /// cloning (grows monotonically as the simulation advances).
+    pub fn delivered_log(&self) -> &[DeliveredMessage] {
+        &self.delivered
+    }
+
+    fn report_with(&self, stalled: bool) -> RunReport {
+        RunReport {
+            ticks: self.now.get(),
+            delivered: self.delivered.clone(),
+            refusals: self.refusals,
+            compaction_moves: self.compaction_moves,
+            mean_utilization: self.utilization.mean(),
+            peak_virtual_buses: self.peak_virtual_buses,
+            undelivered: self.submitted as usize - self.delivered.len(),
+            stalled,
+        }
+    }
+
+    /// Validates all structural invariants; see [`crate::invariants`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        check_network(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: tick phases.
+    // ------------------------------------------------------------------
+
+    fn progress_streams_and_teardowns(&mut self) {
+        let ring = self.ring();
+        let now = self.now.get();
+        let window = match self.cfg.ack_mode {
+            AckMode::PerFlit => 1,
+            AckMode::Windowed { window } => window.max(1),
+            AckMode::Unlimited => u32::MAX,
+        };
+        let ids: Vec<VirtualBusId> = self.buses.keys().copied().collect();
+        for id in ids {
+            // Work on the bus by value to satisfy the borrow checker; it is
+            // re-inserted (or dropped) below.
+            let mut bus = match self.buses.remove(&id) {
+                Some(b) => b,
+                None => continue,
+            };
+            let span = bus.heights.len() as u64;
+            let mut remove = false;
+            let mut progressed = false;
+            let mut start_streaming = false;
+            let mut completed_circuit_at = None;
+            match &mut bus.state {
+                BusState::Establishing
+                | BusState::TearingDown { .. }
+                | BusState::Nacked { .. } => {}
+                BusState::AwaitingHack { hops_left } => {
+                    *hops_left -= 1;
+                    start_streaming = *hops_left == 0;
+                }
+                BusState::Streaming(s) => {
+                    // Deliveries (L ticks after send) and Dacks (2L ticks).
+                    while s
+                        .awaiting_delivery
+                        .front()
+                        .is_some_and(|&t| now >= t + span)
+                    {
+                        s.awaiting_delivery.pop_front();
+                        s.delivered += 1;
+                        progressed = true;
+                    }
+                    while s.awaiting_ack.front().is_some_and(|&t| now >= t + 2 * span) {
+                        s.awaiting_ack.pop_front();
+                    }
+                    if let Some(ff_at) = s.ff_sent_at {
+                        if now >= ff_at + span {
+                            // Final flit arrived: the message is delivered.
+                            completed_circuit_at = Some(s.circuit_at);
+                        }
+                    } else if s.next_seq < bus.spec.data_flits {
+                        if (s.awaiting_ack.len() as u32) < window {
+                            s.awaiting_ack.push_back(now);
+                            s.awaiting_delivery.push_back(now);
+                            s.next_seq += 1;
+                            progressed = true;
+                        }
+                    } else {
+                        s.ff_sent_at = Some(now);
+                        progressed = true;
+                    }
+                }
+            }
+            if start_streaming {
+                bus.state = BusState::Streaming(StreamState {
+                    circuit_at: now,
+                    ..StreamState::default()
+                });
+                progressed = true;
+            }
+            if let Some(circuit_at) = completed_circuit_at {
+                self.delivered.push(DeliveredMessage {
+                    request: bus.request,
+                    spec: bus.spec,
+                    requested_at: bus.requested_at,
+                    circuit_at,
+                    delivered_at: now,
+                    refusals: bus.refusals,
+                });
+                self.nodes[bus.spec.destination.as_usize()].receives_active -= 1;
+                // Multicast taps saw the final flit as it flowed past,
+                // span - dist hops before it reached the far end.
+                for tap in &bus.taps {
+                    let dist = u64::from(ring.clockwise_distance(bus.spec.source, *tap));
+                    self.delivered.push(DeliveredMessage {
+                        request: bus.request,
+                        spec: MessageSpec::new(bus.spec.source, *tap, bus.spec.data_flits)
+                            .at(bus.spec.inject_at),
+                        requested_at: bus.requested_at,
+                        circuit_at,
+                        delivered_at: now - (span - dist),
+                        refusals: bus.refusals,
+                    });
+                    self.nodes[tap.as_usize()].receives_active -= 1;
+                }
+                bus.state = BusState::TearingDown { freed: 0 };
+                self.trace(
+                    TraceKind::Deliver,
+                    bus.id,
+                    bus.spec.destination,
+                    None,
+                    "final flit arrived",
+                );
+                progressed = true;
+            }
+            let teardown_freed = match bus.state {
+                BusState::TearingDown { freed } | BusState::Nacked { freed } => Some(freed),
+                _ => None,
+            };
+            if let Some(freed) = teardown_freed {
+                if completed_circuit_at.is_none() {
+                    // The Fack / Nack crosses one INC per tick, freeing the
+                    // tail hop as it passes. (A bus that completed this very
+                    // tick starts freeing next tick.)
+                    let idx = bus.heights.len() - 1 - freed;
+                    let hop = bus.hop_upstream_node(ring, idx).as_usize();
+                    let height = bus.heights[idx];
+                    self.release(hop, height);
+                    let new_freed = freed + 1;
+                    match &mut bus.state {
+                        BusState::TearingDown { freed } | BusState::Nacked { freed } => {
+                            *freed = new_freed;
+                        }
+                        _ => unreachable!("teardown state checked above"),
+                    }
+                    progressed = true;
+                    remove = new_freed == bus.heights.len();
+                }
+            }
+            if progressed {
+                self.last_progress = now;
+            }
+            if remove {
+                let nacked = matches!(bus.state, BusState::Nacked { .. });
+                self.nodes[bus.spec.source.as_usize()].sends_active -= 1;
+                if nacked {
+                    // Release any multicast taps that were already armed.
+                    for tap in &bus.taps[..bus.armed_taps] {
+                        self.nodes[tap.as_usize()].receives_active -= 1;
+                    }
+                    // Re-queue the refused request with linear backoff.
+                    let refusals = bus.refusals + 1;
+                    let backoff = self.cfg.node.retry_backoff * refusals as u64;
+                    self.nodes[bus.spec.source.as_usize()]
+                        .pending
+                        .push_back(PendingRequest {
+                            request: bus.request,
+                            spec: bus.spec,
+                            taps: bus.taps.clone(),
+                            requested_at: bus.requested_at,
+                            refusals,
+                            not_before: now + backoff,
+                        });
+                } else {
+                    self.trace(
+                        TraceKind::Teardown,
+                        bus.id,
+                        bus.spec.source,
+                        None,
+                        "virtual bus removed",
+                    );
+                }
+            } else {
+                self.buses.insert(id, bus);
+            }
+        }
+    }
+
+    fn decide_at_destinations(&mut self) {
+        let ring = self.ring();
+        let now = self.now.get();
+        let ids: Vec<VirtualBusId> = self.buses.keys().copied().collect();
+        for id in ids {
+            let (dst, span, head);
+            {
+                let bus = &self.buses[&id];
+                if !matches!(bus.state, BusState::Establishing) {
+                    continue;
+                }
+                dst = bus.spec.destination;
+                span = bus.heights.len() as u32;
+                head = bus.head_node(ring);
+            }
+            // Multicast: the header is parked at the next unarmed tap —
+            // take that node's receive port (arming the tap) or refuse the
+            // whole circuit.
+            let next_tap = {
+                let bus = &self.buses[&id];
+                bus.taps.get(bus.armed_taps).copied()
+            };
+            if Some(head) == next_tap {
+                if self.nodes[head.as_usize()].receives_active
+                    < self.cfg.node.max_concurrent_receives
+                {
+                    self.nodes[head.as_usize()].receives_active += 1;
+                    let bus = self.buses.get_mut(&id).expect("bus is live");
+                    bus.armed_taps += 1;
+                    bus.parked_since = now;
+                    self.trace(TraceKind::Accept, id, head, None, "multicast tap armed");
+                } else {
+                    let bus = self.buses.get_mut(&id).expect("bus is live");
+                    bus.state = BusState::Nacked { freed: 0 };
+                    self.refusals += 1;
+                    self.trace(TraceKind::Refuse, id, head, None, "multicast tap busy");
+                }
+                self.last_progress = now;
+                continue;
+            }
+            if head != dst {
+                if let Some(limit) = self.cfg.head_timeout {
+                    let parked = now.saturating_sub(self.buses[&id].parked_since);
+                    if parked > limit {
+                        let bus = self.buses.get_mut(&id).expect("bus is live");
+                        bus.state = BusState::Nacked { freed: 0 };
+                        self.refusals += 1;
+                        self.trace(
+                            TraceKind::Refuse,
+                            id,
+                            head,
+                            None,
+                            "header timed out at intermediate INC",
+                        );
+                        self.last_progress = now;
+                    }
+                }
+                continue;
+            }
+            let accept = self.nodes[dst.as_usize()].receives_active
+                < self.cfg.node.max_concurrent_receives;
+            let bus = self.buses.get_mut(&id).expect("bus is live");
+            if accept {
+                bus.state = BusState::AwaitingHack { hops_left: span };
+                self.nodes[dst.as_usize()].receives_active += 1;
+                self.trace(TraceKind::Accept, id, dst, None, "destination accepted");
+            } else {
+                bus.state = BusState::Nacked { freed: 0 };
+                self.refusals += 1;
+                self.trace(TraceKind::Refuse, id, dst, None, "destination busy");
+            }
+            self.last_progress = now;
+        }
+    }
+
+    fn extend_heads(&mut self) {
+        let ring = self.ring();
+        let now = self.now.get();
+        let top = self.cfg.top_bus();
+        let ids: Vec<VirtualBusId> = self.buses.keys().copied().collect();
+        for id in ids {
+            let (head, last_height, injected_at);
+            {
+                let bus = &self.buses[&id];
+                if !matches!(bus.state, BusState::Establishing) {
+                    continue;
+                }
+                head = bus.head_node(ring);
+                if head == bus.spec.destination {
+                    continue;
+                }
+                // A multicast header dwells at each tap until the tap has
+                // taken its receive port (the decision phase arms it).
+                if bus.taps.get(bus.armed_taps) == Some(&head) {
+                    continue;
+                }
+                last_height = *bus.heights.last().expect("established hops");
+                injected_at = bus.injected_at;
+            }
+            if injected_at == now {
+                // Injected this very tick; the HF advances from next tick.
+                continue;
+            }
+            let hop = head.as_usize();
+            let chosen = match self.cfg.insertion {
+                InsertionPolicy::TopBusOnly => {
+                    // Header flits travel on the top lane only (§2.3).
+                    (self.segments[hop][top.as_usize()].is_none()).then_some(top)
+                }
+                InsertionPolicy::AnyFreeBus => self.free_within_reach(hop, last_height),
+            };
+            if let Some(height) = chosen {
+                debug_assert!(
+                    last_height.is_adjacent_or_equal(height),
+                    "extension out of the INC switching range"
+                );
+                self.occupy(hop, height, id);
+                let bus = self.buses.get_mut(&id).expect("bus is live");
+                bus.heights.push(height);
+                bus.parked_since = now;
+                self.trace(
+                    TraceKind::Extend,
+                    id,
+                    head,
+                    Some(height),
+                    "header advanced one hop",
+                );
+                self.last_progress = now;
+            }
+        }
+    }
+
+    /// For the `AnyFreeBus` ablation: the first free segment on `hop`
+    /// within switching reach of `from`, preferring straight, then down,
+    /// then up.
+    fn free_within_reach(&self, hop: usize, from: BusIndex) -> Option<BusIndex> {
+        let k = self.cfg.buses();
+        let mut candidates = vec![from];
+        if let Some(lower) = from.lower() {
+            candidates.push(lower);
+        }
+        if from.index() + 1 < k {
+            candidates.push(from.upper());
+        }
+        candidates
+            .into_iter()
+            .find(|c| self.segments[hop][c.as_usize()].is_none())
+    }
+
+    fn inject_pending(&mut self) {
+        let ring = self.ring();
+        let now = self.now.get();
+        let n = ring.as_usize();
+        let top = self.cfg.top_bus();
+        // Rotate the scan start so low-numbered nodes get no static edge.
+        let start = (now % n as u64) as usize;
+        for off in 0..n {
+            let s = (start + off) % n;
+            let node = &self.nodes[s];
+            if node.sends_active >= self.cfg.node.max_concurrent_sends {
+                continue;
+            }
+            let Some(front) = node.pending.front() else {
+                continue;
+            };
+            if front.not_before > now {
+                continue;
+            }
+            let height = match self.cfg.insertion {
+                InsertionPolicy::TopBusOnly => {
+                    // A request may only be initiated when the top segment
+                    // at this INC is not serving another request (§2.2).
+                    (self.segments[s][top.as_usize()].is_none()).then_some(top)
+                }
+                InsertionPolicy::AnyFreeBus => {
+                    // Highest free segment on the source hop.
+                    (0..self.cfg.buses())
+                        .rev()
+                        .map(BusIndex::new)
+                        .find(|b| self.segments[s][b.as_usize()].is_none())
+                }
+            };
+            let Some(height) = height else {
+                continue; // HF stays buffered at the node (§2.3).
+            };
+            let pending = self.nodes[s].pending.pop_front().expect("front exists");
+            let id = VirtualBusId::new(self.next_bus);
+            self.next_bus += 1;
+            self.occupy(s, height, id);
+            self.nodes[s].sends_active += 1;
+            let bus = VirtualBus {
+                id,
+                request: pending.request,
+                spec: pending.spec,
+                requested_at: pending.requested_at,
+                injected_at: now,
+                refusals: pending.refusals,
+                heights: vec![height],
+                parked_since: now,
+                taps: pending.taps,
+                armed_taps: 0,
+                state: BusState::Establishing,
+            };
+            self.trace(
+                TraceKind::Inject,
+                id,
+                pending.spec.source,
+                Some(height),
+                "HF inserted",
+            );
+            self.buses.insert(id, bus);
+            self.last_progress = now;
+        }
+    }
+
+    fn run_compaction(&mut self) {
+        if !self.cfg.compaction {
+            return;
+        }
+        match self.mode.clone() {
+            CompactionMode::Synchronous => {
+                let phase = Phase::of_tick(self.now.get());
+                // Decide against the phase-start snapshot, then apply: the
+                // odd/even assessment rule guarantees the decided moves are
+                // mutually compatible (see compaction::tests).
+                let moves = self.collect_moves(phase, None);
+                for (id, j, from, to, hop) in moves {
+                    self.apply_move(id, j, from, to, hop);
+                }
+            }
+            CompactionMode::Handshake { periods } => {
+                let now = self.now.get();
+                let n = self.cfg.nodes().as_usize();
+                // `i` is simultaneously a period index, a ring position
+                // and a controller index; a plain range reads best here.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n {
+                    if !now.is_multiple_of(periods[i]) {
+                        continue;
+                    }
+                    let cycles = self.cycles.as_mut().expect("handshake ring exists");
+                    let may_switch = cycles.controller(i).may_switch_datapath();
+                    let done = cycles.controller(i).internal_done();
+                    let phase = cycles.controller(i).phase();
+                    if may_switch && !done {
+                        // Perform this INC's datapath switches for its
+                        // local phase, then raise ID.
+                        let moves = self.collect_moves(phase, Some(NodeId::new(i as u32)));
+                        for (id, j, from, to, hop) in moves {
+                            self.apply_move(id, j, from, to, hop);
+                        }
+                        let cycles = self.cycles.as_mut().expect("handshake ring exists");
+                        cycles.set_internal_done(i, true);
+                    }
+                    let cycles = self.cycles.as_mut().expect("handshake ring exists");
+                    let step = cycles.activate(i);
+                    if step == crate::cycle::CycleStep::CycleSwitched {
+                        if let Some(rec) = &mut self.recorder {
+                            rec.record(TraceEvent {
+                                at: self.now,
+                                kind: TraceKind::CycleSwitch,
+                                id: None,
+                                node: Some(i as u32),
+                                bus: None,
+                                detail: format!(
+                                    "phase now {}",
+                                    self.cycles.as_ref().unwrap().controller(i).phase()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the eligible moves for `phase`, optionally restricted to
+    /// hops whose upstream INC is `only_node`.
+    #[allow(clippy::type_complexity)]
+    fn collect_moves(
+        &self,
+        phase: Phase,
+        only_node: Option<NodeId>,
+    ) -> Vec<(VirtualBusId, usize, BusIndex, BusIndex, usize)> {
+        let ring = self.ring();
+        let mut moves = Vec::new();
+        for (id, bus) in &self.buses {
+            if !bus.state.compactable() {
+                continue;
+            }
+            if bus.state.pre_hack() && !self.cfg.early_compaction {
+                continue;
+            }
+            for j in 0..bus.heights.len() {
+                let node = bus.hop_upstream_node(ring, j);
+                if let Some(only) = only_node {
+                    if node != only {
+                        continue;
+                    }
+                }
+                let height = bus.heights[j];
+                if !assessed_in_phase(node, height, phase) {
+                    continue;
+                }
+                let ctx = self.hop_context(bus, j);
+                if ctx.switchable_down().is_some() {
+                    let to = height.lower().expect("switchable implies not bottom");
+                    moves.push((*id, j, height, to, node.as_usize()));
+                }
+            }
+        }
+        moves
+    }
+
+    /// The compaction context of hop `j` of `bus`.
+    fn hop_context(&self, bus: &VirtualBus, j: usize) -> HopContext {
+        let ring = self.ring();
+        let height = bus.heights[j];
+        let upstream = if j == 0 {
+            EndpointHeight::Pe
+        } else {
+            EndpointHeight::At(bus.heights[j - 1])
+        };
+        let last = bus.heights.len() - 1;
+        let downstream = if j == last {
+            match bus.state {
+                // INCs monitor only the top segment for header flits, so
+                // the hop feeding a parked head must stay at the top.
+                BusState::Establishing if bus.head_node(ring) != bus.spec.destination => {
+                    EndpointHeight::ParkedHead
+                }
+                // Head parked at the destination awaiting the decision, or
+                // already accepted: the PE interface reads any port.
+                _ => EndpointHeight::Pe,
+            }
+        } else {
+            EndpointHeight::At(bus.heights[j + 1])
+        };
+        let hop = bus.hop_upstream_node(ring, j).as_usize();
+        let below_free = height
+            .lower()
+            .map(|lo| self.segments[hop][lo.as_usize()].is_none())
+            .unwrap_or(false);
+        HopContext {
+            height,
+            top: self.cfg.top_bus(),
+            upstream,
+            downstream,
+            below_free,
+        }
+    }
+
+    fn apply_move(&mut self, id: VirtualBusId, j: usize, from: BusIndex, to: BusIndex, hop: usize) {
+        debug_assert_eq!(self.segments[hop][from.as_usize()], Some(id));
+        debug_assert!(self.segments[hop][to.as_usize()].is_none());
+        self.release(hop, from);
+        self.occupy(hop, to, id);
+        let bus = self.buses.get_mut(&id).expect("moving a live bus");
+        bus.heights[j] = to;
+        self.compaction_moves += 1;
+        self.last_progress = self.now.get();
+        if self.recorder.is_some() {
+            let detail = format!("hop {j} moved {from} -> {to}");
+            self.trace(
+                TraceKind::CompactMove,
+                id,
+                NodeId::new(hop as u32),
+                Some(to),
+                &detail,
+            );
+        }
+    }
+
+    fn finish_tick(&mut self) {
+        self.utilization.record(self.utilization());
+        self.peak_virtual_buses = self.peak_virtual_buses.max(self.buses.len());
+        self.now = self.now.next();
+        if self.checked {
+            if let Err(v) = self.check_invariants() {
+                panic!("invariant violated at {}: {v}", self.now);
+            }
+            // Downward-only motion (§2.2): a hop's height never increases
+            // while its virtual bus lives; extension only appends.
+            let mut next = std::collections::HashMap::with_capacity(self.buses.len());
+            for bus in self.buses.values() {
+                let heights: Vec<u16> = bus.heights.iter().map(|h| h.index()).collect();
+                if let Some(prev) = self.height_history.get(&bus.id.get()) {
+                    assert!(prev.len() <= heights.len(), "hops never detach from the front");
+                    for (j, (&p, &c)) in prev.iter().zip(&heights).enumerate() {
+                        assert!(
+                            c <= p,
+                            "bus {} hop {j} moved up: {p} -> {c} at {}",
+                            bus.id,
+                            self.now
+                        );
+                    }
+                }
+                next.insert(bus.id.get(), heights);
+            }
+            self.height_history = next;
+        }
+    }
+
+    fn occupy(&mut self, hop: usize, bus: BusIndex, id: VirtualBusId) {
+        let slot = &mut self.segments[hop][bus.as_usize()];
+        debug_assert!(slot.is_none(), "segment double-booked");
+        *slot = Some(id);
+        self.busy_segments += 1;
+    }
+
+    fn release(&mut self, hop: usize, bus: BusIndex) {
+        let slot = &mut self.segments[hop][bus.as_usize()];
+        debug_assert!(slot.is_some(), "releasing a free segment");
+        *slot = None;
+        self.busy_segments -= 1;
+    }
+
+    fn trace(
+        &mut self,
+        kind: TraceKind,
+        id: VirtualBusId,
+        node: NodeId,
+        height: Option<BusIndex>,
+        detail: &str,
+    ) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(TraceEvent {
+                at: self.now,
+                kind,
+                id: Some(id.get()),
+                node: Some(node.index()),
+                bus: height.map(|b| b.index()),
+                detail: detail.to_owned(),
+            });
+        }
+    }
+
+    /// Internal accessor for the invariant checker and renderers.
+    pub(crate) fn segments_raw(&self) -> &[Vec<Option<VirtualBusId>>] {
+        &self.segments
+    }
+
+    /// Internal accessor for the invariant checker and renderers.
+    pub(crate) fn buses_raw(&self) -> &BTreeMap<VirtualBusId, VirtualBus> {
+        &self.buses
+    }
+
+    /// Transition counts of the handshake cycle controllers, if running in
+    /// handshake mode (for Lemma 1 measurements).
+    pub fn cycle_transitions(&self) -> Option<Vec<u64>> {
+        self.cycles.as_ref().map(|ring| {
+            (0..ring.len())
+                .map(|i| ring.controller(i).transitions())
+                .collect()
+        })
+    }
+
+    /// Largest difference in completed cycle transitions between
+    /// neighbouring INCs (Lemma 1 bound), if in handshake mode.
+    pub fn max_cycle_skew(&self) -> Option<u64> {
+        self.cycles.as_ref().map(|r| r.max_neighbour_skew())
+    }
+}

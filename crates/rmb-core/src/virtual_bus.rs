@@ -1,0 +1,230 @@
+//! Virtual buses: the circuits laid over physical bus segments.
+//!
+//! A virtual bus is the chain of physical segments currently carrying one
+//! request's circuit (§2.2, Fig. 2). Its *heights* record which physical
+//! segment it occupies on every hop between source and destination; the
+//! compaction protocol lowers these heights over time without ever
+//! breaking the circuit.
+
+use rmb_types::{BusIndex, MessageSpec, NodeId, RequestId, RingSize, VirtualBusId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Lifecycle state of a virtual bus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusState {
+    /// The header flit is drawing the bus toward the destination; the head
+    /// is parked at the INC one hop past the last occupied segment.
+    Establishing,
+    /// The destination accepted; the `Hack` is travelling back to the
+    /// source and will arrive after `hops_left` more ticks.
+    AwaitingHack {
+        /// Segments the `Hack` still has to cross.
+        hops_left: u32,
+    },
+    /// The circuit is up and data flits are streaming.
+    Streaming(StreamState),
+    /// The `Fack` is removing the bus, tail (destination) end first;
+    /// `freed` hops have been released so far.
+    TearingDown {
+        /// Hops already released, counted from the destination end.
+        freed: usize,
+    },
+    /// The destination refused with a `Nack`, which is releasing the bus
+    /// tail-first; `freed` hops have been released so far.
+    Nacked {
+        /// Hops already released, counted from the destination end.
+        freed: usize,
+    },
+}
+
+impl BusState {
+    /// `true` while compaction may consider this bus's hops at all.
+    /// Dying buses (`TearingDown`, `Nacked`) are left alone; the freed
+    /// space they leave behind is what compaction of *other* buses uses.
+    pub const fn compactable(&self) -> bool {
+        matches!(
+            self,
+            BusState::Establishing | BusState::AwaitingHack { .. } | BusState::Streaming(_)
+        )
+    }
+
+    /// `true` before the header acknowledgement has returned.
+    pub const fn pre_hack(&self) -> bool {
+        matches!(
+            self,
+            BusState::Establishing | BusState::AwaitingHack { .. }
+        )
+    }
+}
+
+impl fmt::Display for BusState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusState::Establishing => f.write_str("establishing"),
+            BusState::AwaitingHack { hops_left } => write!(f, "awaiting-hack({hops_left})"),
+            BusState::Streaming(_) => f.write_str("streaming"),
+            BusState::TearingDown { freed } => write!(f, "tearing-down({freed})"),
+            BusState::Nacked { freed } => write!(f, "nacked({freed})"),
+        }
+    }
+}
+
+/// Book-keeping for the data-flit stream of an established circuit.
+///
+/// Flits advance one segment per tick, so a data flit sent at tick `s`
+/// over a circuit of `L` hops is delivered at `s + L` and its `Dack` is
+/// back at the source at `s + 2L`. The queues hold send ticks awaiting
+/// those two milestones.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamState {
+    /// Tick at which the `Hack` reached the source (circuit established).
+    pub circuit_at: u64,
+    /// Next data-flit sequence number to send.
+    pub next_seq: u32,
+    /// Send ticks of data flits not yet delivered to the destination.
+    pub awaiting_delivery: VecDeque<u64>,
+    /// Send ticks of data flits whose `Dack` has not yet returned.
+    pub awaiting_ack: VecDeque<u64>,
+    /// Data flits delivered so far.
+    pub delivered: u32,
+    /// Tick the final flit was sent, once all data flits are out.
+    pub ff_sent_at: Option<u64>,
+}
+
+/// One virtual bus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualBus {
+    /// Identity of this circuit.
+    pub id: VirtualBusId,
+    /// The request it serves.
+    pub request: RequestId,
+    /// The message being carried.
+    pub spec: MessageSpec,
+    /// Tick the PE first asked for this connection (across retries).
+    pub requested_at: u64,
+    /// Tick this attempt's header flit was inserted at the top bus.
+    pub injected_at: u64,
+    /// `Nack` refusals suffered before this attempt.
+    pub refusals: u32,
+    /// Physical segment occupied on each hop, hop 0 starting at the
+    /// source. Grows as the head extends; entries only ever decrease
+    /// (downward compaction).
+    pub heights: Vec<BusIndex>,
+    /// Tick of the last head advance (injection or extension); used by the
+    /// optional head-timeout anti-deadlock extension.
+    pub parked_since: u64,
+    /// Intermediate destinations of a multicast circuit, in clockwise
+    /// order before the final destination. Empty for unicast (the paper's
+    /// base protocol); see `RmbNetwork::submit_multicast`.
+    pub taps: Vec<NodeId>,
+    /// How many of `taps` have taken their receive port so far (taps are
+    /// armed in order as the header passes them).
+    pub armed_taps: usize,
+    /// Lifecycle state.
+    pub state: BusState,
+}
+
+impl VirtualBus {
+    /// Number of hops between source and destination along the clockwise
+    /// ring — the final span of the circuit.
+    pub fn full_span(&self, ring: RingSize) -> u32 {
+        ring.clockwise_distance(self.spec.source, self.spec.destination)
+    }
+
+    /// The node the header flit is parked at while establishing: one hop
+    /// past the last occupied segment.
+    pub fn head_node(&self, ring: RingSize) -> NodeId {
+        ring.advance(self.spec.source, self.heights.len() as u32)
+    }
+
+    /// Number of hops still occupied (the tail `freed` hops are released
+    /// first during teardown).
+    pub fn active_hops(&self) -> usize {
+        match self.state {
+            BusState::TearingDown { freed } | BusState::Nacked { freed } => {
+                self.heights.len().saturating_sub(freed)
+            }
+            _ => self.heights.len(),
+        }
+    }
+
+    /// The upstream INC of hop `j`: the node whose output ports drive the
+    /// hop's segment.
+    pub fn hop_upstream_node(&self, ring: RingSize, j: usize) -> NodeId {
+        ring.advance(self.spec.source, j as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus(src: u32, dst: u32, hops: &[u16]) -> VirtualBus {
+        VirtualBus {
+            id: VirtualBusId::new(1),
+            request: RequestId::new(1),
+            spec: MessageSpec::new(NodeId::new(src), NodeId::new(dst), 4),
+            requested_at: 0,
+            injected_at: 0,
+            refusals: 0,
+            heights: hops.iter().map(|&h| BusIndex::new(h)).collect(),
+            parked_since: 0,
+            taps: Vec::new(),
+            armed_taps: 0,
+            state: BusState::Establishing,
+        }
+    }
+
+    #[test]
+    fn span_and_head_wrap_around_the_ring() {
+        let ring = RingSize::new(8).unwrap();
+        let b = bus(6, 2, &[3, 3]);
+        assert_eq!(b.full_span(ring), 4);
+        assert_eq!(b.head_node(ring), NodeId::new(0));
+        assert_eq!(b.hop_upstream_node(ring, 0), NodeId::new(6));
+        assert_eq!(b.hop_upstream_node(ring, 1), NodeId::new(7));
+    }
+
+    #[test]
+    fn active_hops_shrink_during_teardown() {
+        let mut b = bus(0, 4, &[1, 1, 1, 1]);
+        assert_eq!(b.active_hops(), 4);
+        b.state = BusState::TearingDown { freed: 3 };
+        assert_eq!(b.active_hops(), 1);
+        b.state = BusState::Nacked { freed: 5 };
+        assert_eq!(b.active_hops(), 0);
+    }
+
+    #[test]
+    fn compactability_by_state() {
+        assert!(BusState::Establishing.compactable());
+        assert!(BusState::AwaitingHack { hops_left: 2 }.compactable());
+        assert!(BusState::Streaming(StreamState::default()).compactable());
+        assert!(!BusState::TearingDown { freed: 0 }.compactable());
+        assert!(!BusState::Nacked { freed: 0 }.compactable());
+    }
+
+    #[test]
+    fn pre_hack_classification() {
+        assert!(BusState::Establishing.pre_hack());
+        assert!(BusState::AwaitingHack { hops_left: 1 }.pre_hack());
+        assert!(!BusState::Streaming(StreamState::default()).pre_hack());
+        assert!(!BusState::TearingDown { freed: 0 }.pre_hack());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BusState::Establishing.to_string(), "establishing");
+        assert_eq!(
+            BusState::AwaitingHack { hops_left: 3 }.to_string(),
+            "awaiting-hack(3)"
+        );
+        assert_eq!(
+            BusState::TearingDown { freed: 2 }.to_string(),
+            "tearing-down(2)"
+        );
+        assert_eq!(BusState::Nacked { freed: 1 }.to_string(), "nacked(1)");
+    }
+}

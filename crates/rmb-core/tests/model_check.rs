@@ -1,0 +1,153 @@
+//! Exhaustive model check of the odd/even cycle handshake (§2.5).
+//!
+//! The Lemma 1 tests elsewhere *sample* schedules (random pacing, OS
+//! threads); this suite *enumerates* them: breadth-first search over the
+//! complete reachable state space of a small [`CycleRing`] under an
+//! adversarial scheduler that may, at every step, either raise any INC's
+//! internal `ID` signal or activate any INC. Lemma 1 bounds neighbouring
+//! transition counts by one, which also keeps the quotient state space
+//! (flags plus transition counts relative to the minimum) finite — so a
+//! terminating BFS that never sees a violation *is* a proof for that ring
+//! size.
+
+use rmb_core::CycleRing;
+use std::collections::{HashSet, VecDeque};
+
+/// The quotient state: per INC `(OD, OC, ID, t_i - min t)`.
+fn encode(ring: &CycleRing) -> Option<Vec<u8>> {
+    let n = ring.len();
+    let min_t = (0..n).map(|i| ring.controller(i).transitions()).min()?;
+    let mut code = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = ring.controller(i);
+        let delta = c.transitions() - min_t;
+        if delta > 2 {
+            // Beyond the Lemma 1 bound — reported as a violation by the
+            // caller (kept representable so the search can surface it).
+            return None;
+        }
+        code.push(
+            u8::from(c.flags().data)
+                | (u8::from(c.flags().cycle) << 1)
+                | (u8::from(c.internal_done()) << 2)
+                | ((delta as u8) << 3),
+        );
+    }
+    Some(code)
+}
+
+/// Exhaustively explores every interleaving for a ring of `n` INCs.
+/// Returns the number of distinct quotient states when Lemma 1 holds
+/// everywhere.
+fn explore(n: usize) -> Result<usize, String> {
+    let initial = CycleRing::new(n);
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut frontier: VecDeque<CycleRing> = VecDeque::new();
+    seen.insert(encode(&initial).expect("reset state is within bounds"));
+    frontier.push_back(initial);
+
+    while let Some(state) = frontier.pop_front() {
+        // Adversarial actions: raise ID at any INC, or activate any INC.
+        for i in 0..n {
+            // Action A: raise the internal-done signal.
+            if !state.controller(i).internal_done() {
+                let mut next = state.clone();
+                next.set_internal_done(i, true);
+                visit(next, &mut seen, &mut frontier)?;
+            }
+            // Action B: the INC's clock fires.
+            let mut next = state.clone();
+            next.activate(i);
+            visit(next, &mut seen, &mut frontier)?;
+        }
+    }
+    Ok(seen.len())
+}
+
+fn visit(
+    next: CycleRing,
+    seen: &mut HashSet<Vec<u8>>,
+    frontier: &mut VecDeque<CycleRing>,
+) -> Result<(), String> {
+    let skew = next.max_neighbour_skew();
+    if skew > 1 {
+        return Err(format!("Lemma 1 violated: neighbour skew {skew}"));
+    }
+    match encode(&next) {
+        Some(code) => {
+            if seen.insert(code) {
+                frontier.push_back(next);
+            }
+            Ok(())
+        }
+        None => Err("transition counts diverged beyond the quotient bound".into()),
+    }
+}
+
+#[test]
+fn lemma1_holds_exhaustively_for_three_incs() {
+    let states = explore(3).expect("no violation reachable");
+    // The reachable quotient space is non-trivial but finite.
+    assert!(states > 50, "suspiciously small exploration: {states}");
+}
+
+#[test]
+fn lemma1_holds_exhaustively_for_four_incs() {
+    let states = explore(4).expect("no violation reachable");
+    assert!(states > 200, "suspiciously small exploration: {states}");
+}
+
+#[test]
+fn lemma1_holds_exhaustively_for_five_incs() {
+    let states = explore(5).expect("no violation reachable");
+    assert!(states > 500, "suspiciously small exploration: {states}");
+}
+
+/// The adversary can always drive every INC forward: from every reachable
+/// state there is a schedule completing another transition (deadlock
+/// freedom of the handshake itself).
+#[test]
+fn handshake_is_deadlock_free_for_four_incs() {
+    // From any reachable state, round-robin with ID raised must advance
+    // the minimum transition count within a bounded number of steps.
+    let n = 4;
+    let initial = CycleRing::new(n);
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut frontier: VecDeque<CycleRing> = VecDeque::new();
+    seen.insert(encode(&initial).unwrap());
+    frontier.push_back(initial);
+    while let Some(state) = frontier.pop_front() {
+        // Progress check on this state.
+        let mut probe = state.clone();
+        let before = probe.min_transitions();
+        for _round in 0..16 {
+            for i in 0..n {
+                probe.set_internal_done(i, true);
+                probe.activate(i);
+            }
+        }
+        assert!(
+            probe.min_transitions() > before,
+            "stuck state found: fair scheduling makes no progress"
+        );
+        // Expand (same action set as `explore`).
+        for i in 0..n {
+            if !state.controller(i).internal_done() {
+                let mut next = state.clone();
+                next.set_internal_done(i, true);
+                if let Some(code) = encode(&next) {
+                    if seen.insert(code) {
+                        frontier.push_back(next);
+                    }
+                }
+            }
+            let mut next = state.clone();
+            next.activate(i);
+            if let Some(code) = encode(&next) {
+                if seen.insert(code) {
+                    frontier.push_back(next);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulation substrate for the RMB reproduction.
+//!
+//! The RMB paper's protocols are asynchronous hardware; every executable
+//! model in this workspace runs them over a deterministic discrete-time
+//! substrate provided here:
+//!
+//! * [`Tick`] — the simulation clock, a newtype over `u64`.
+//! * [`EventQueue`] — a stable discrete-event priority queue for models
+//!   that are event-driven rather than tick-stepped (e.g. the fat-tree's
+//!   variable link lengths).
+//! * [`SimRng`] — seeded, stream-splittable randomness so that every
+//!   experiment is reproducible from a single seed.
+//! * [`stats`] — counters, online moments, histograms and time series used
+//!   by every report in EXPERIMENTS.md.
+//! * [`trace`] — structured event tracing used to regenerate the paper's
+//!   protocol figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmb_sim::{EventQueue, Tick};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Tick::new(5), "b");
+//! q.schedule(Tick::new(2), "a");
+//! q.schedule(Tick::new(5), "c"); // same tick: FIFO among equals
+//! let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+//! assert_eq!(order, vec!["a", "b", "c"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod queue;
+mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use clock::Tick;
+pub use queue::EventQueue;
+pub use rng::SimRng;

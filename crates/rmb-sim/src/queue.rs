@@ -1,0 +1,181 @@
+//! A stable discrete-event priority queue.
+
+use crate::clock::Tick;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue ordered by [`Tick`], FIFO among events scheduled for the
+/// same tick.
+///
+/// Stability matters for reproducibility: two events at the same tick are
+/// delivered in the order they were scheduled, so a simulation's outcome is
+/// a pure function of its inputs and seed.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_sim::{EventQueue, Tick};
+/// let mut q = EventQueue::new();
+/// q.schedule(Tick::new(3), "late");
+/// q.schedule(Tick::new(1), "early");
+/// assert_eq!(q.pop(), Some((Tick::new(1), "early")));
+/// assert_eq!(q.next_tick(), Some(Tick::new(3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    sequence: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Tick,
+    sequence: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest tick and, within
+        // a tick, the lowest sequence number pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            sequence: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at tick `at`.
+    pub fn schedule(&mut self, at: Tick, event: E) {
+        let sequence = self.sequence;
+        self.sequence += 1;
+        self.heap.push(Entry {
+            at,
+            sequence,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Tick) -> Option<(Tick, E)> {
+        if self.next_tick()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The tick of the earliest pending event.
+    pub fn next_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_tick_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::new(2), 'x');
+        q.schedule(Tick::new(1), 'a');
+        q.schedule(Tick::new(2), 'y');
+        q.schedule(Tick::new(1), 'b');
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            vec![
+                (Tick::new(1), 'a'),
+                (Tick::new(1), 'b'),
+                (Tick::new(2), 'x'),
+                (Tick::new(2), 'y'),
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::new(5), ());
+        assert_eq!(q.pop_due(Tick::new(4)), None);
+        assert_eq!(q.pop_due(Tick::new(5)), Some((Tick::new(5), ())));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::default();
+        assert!(q.is_empty());
+        q.schedule(Tick::new(1), 1);
+        q.schedule(Tick::new(2), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_tick(), Some(Tick::new(1)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_tick(), None);
+    }
+
+    #[test]
+    fn large_interleaving_stays_sorted() {
+        let mut q = EventQueue::new();
+        for i in (0..1000u64).rev() {
+            q.schedule(Tick::new(i / 10), i);
+        }
+        let mut last = Tick::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{BusIndex, NodeId, RequestId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The ring needs at least two nodes; got the stated count.
+    RingTooSmall(u32),
+    /// The multiple bus system needs at least one bus segment.
+    NoBuses,
+    /// `max_concurrent_sends` must be at least one.
+    NoSendSlots,
+    /// `max_concurrent_receives` must be at least one.
+    NoReceiveSlots,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::RingTooSmall(n) => {
+                write!(f, "ring needs at least 2 nodes, got {n}")
+            }
+            ConfigError::NoBuses => f.write_str("bus count k must be at least 1"),
+            ConfigError::NoSendSlots => f.write_str("max_concurrent_sends must be at least 1"),
+            ConfigError::NoReceiveSlots => {
+                f.write_str("max_concurrent_receives must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Errors raised by protocol engines when asked to do something invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A node identifier lies outside the ring.
+    UnknownNode(NodeId),
+    /// A bus index lies outside `0..k`.
+    UnknownBus(BusIndex),
+    /// A request identifier is not live in the engine.
+    UnknownRequest(RequestId),
+    /// A message names the same node as source and destination; the ring
+    /// RMB only carries traffic between distinct nodes.
+    SelfMessage(NodeId),
+    /// An operation would violate the single connection per port rule.
+    PortBusy {
+        /// Node whose port is busy.
+        node: NodeId,
+        /// The contended bus segment.
+        bus: BusIndex,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownNode(n) => write!(f, "node {n} is outside the ring"),
+            ProtocolError::UnknownBus(b) => write!(f, "bus {b} is outside the bus array"),
+            ProtocolError::UnknownRequest(r) => write!(f, "request {r} is not live"),
+            ProtocolError::SelfMessage(n) => {
+                write!(f, "message from {n} to itself is not routable")
+            }
+            ProtocolError::PortBusy { node, bus } => {
+                write!(f, "port for {bus} at {node} is already connected")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let msgs = [
+            ConfigError::RingTooSmall(1).to_string(),
+            ConfigError::NoBuses.to_string(),
+            ConfigError::NoSendSlots.to_string(),
+            ConfigError::NoReceiveSlots.to_string(),
+            ProtocolError::UnknownNode(NodeId::new(9)).to_string(),
+            ProtocolError::UnknownBus(BusIndex::new(9)).to_string(),
+            ProtocolError::UnknownRequest(RequestId::new(9)).to_string(),
+            ProtocolError::SelfMessage(NodeId::new(1)).to_string(),
+            ProtocolError::PortBusy {
+                node: NodeId::new(1),
+                bus: BusIndex::new(0),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        assert_err::<ProtocolError>();
+    }
+}

@@ -1,0 +1,301 @@
+//! Flits (flow-control digits) and acknowledgement signals.
+//!
+//! The RMB moves messages with a mechanism based on wormhole routing
+//! (§1, §2.2): a message is decomposed into a single *header flit* which
+//! carries the destination and sets up the channel, a number of *data
+//! flits*, and a terminating *final flit*. Four acknowledgement kinds flow
+//! counter-clockwise on the same virtual bus: `Hack`, `Dack`, `Fack` and
+//! `Nack`.
+
+use crate::ids::{NodeId, RequestId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Payload word carried by a data flit.
+///
+/// The paper leaves flit width as an implementation parameter; we model a
+/// flit payload as a 64-bit word, which is wide enough to carry the test
+/// patterns used by the integrity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct FlitPayload(pub u64);
+
+impl fmt::Display for FlitPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// One flit travelling clockwise on a virtual bus.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_types::{Flit, FlitKind, NodeId, RequestId};
+/// let hf = Flit::header(RequestId::new(1), NodeId::new(0), NodeId::new(5));
+/// assert_eq!(hf.kind(), FlitKind::Header);
+/// assert_eq!(hf.request(), RequestId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Flit {
+    /// Header flit (HF): carries the destination address and draws the
+    /// virtual bus behind it as it advances.
+    Header {
+        /// The request this flit belongs to.
+        request: RequestId,
+        /// Originating node.
+        source: NodeId,
+        /// Destination node.
+        destination: NodeId,
+    },
+    /// Data flit (DF): one payload word. Data flits are transmitted only
+    /// after the `Hack` for the header has been received, so they are never
+    /// buffered at intermediate nodes (§2.2).
+    Data {
+        /// The request this flit belongs to.
+        request: RequestId,
+        /// Zero-based position of this flit within the message body.
+        sequence: u32,
+        /// The payload word.
+        payload: FlitPayload,
+    },
+    /// Final flit (FF): sent by the initiating PE to terminate the request.
+    Final {
+        /// The request this flit belongs to.
+        request: RequestId,
+    },
+}
+
+impl Flit {
+    /// Creates a header flit.
+    pub const fn header(request: RequestId, source: NodeId, destination: NodeId) -> Self {
+        Flit::Header {
+            request,
+            source,
+            destination,
+        }
+    }
+
+    /// Creates a data flit.
+    pub const fn data(request: RequestId, sequence: u32, payload: FlitPayload) -> Self {
+        Flit::Data {
+            request,
+            sequence,
+            payload,
+        }
+    }
+
+    /// Creates a final flit.
+    pub const fn final_flit(request: RequestId) -> Self {
+        Flit::Final { request }
+    }
+
+    /// The request this flit belongs to.
+    pub const fn request(&self) -> RequestId {
+        match *self {
+            Flit::Header { request, .. }
+            | Flit::Data { request, .. }
+            | Flit::Final { request } => request,
+        }
+    }
+
+    /// Discriminant of this flit, without its payload.
+    pub const fn kind(&self) -> FlitKind {
+        match self {
+            Flit::Header { .. } => FlitKind::Header,
+            Flit::Data { .. } => FlitKind::Data,
+            Flit::Final { .. } => FlitKind::Final,
+        }
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Flit::Header {
+                request,
+                source,
+                destination,
+            } => write!(f, "HF({request} {source}->{destination})"),
+            Flit::Data {
+                request, sequence, ..
+            } => write!(f, "DF({request}#{sequence})"),
+            Flit::Final { request } => write!(f, "FF({request})"),
+        }
+    }
+}
+
+/// Flit discriminants: header, data, final.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// Header flit.
+    Header,
+    /// Data flit.
+    Data,
+    /// Final flit.
+    Final,
+}
+
+impl fmt::Display for FlitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlitKind::Header => "HF",
+            FlitKind::Data => "DF",
+            FlitKind::Final => "FF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An acknowledgement signal travelling counter-clockwise on a virtual bus.
+///
+/// The paper associates four acknowledgement kinds with a request (§2.2):
+///
+/// * `Hack` — header acknowledgement; permits data flits to be transmitted.
+/// * `Dack` — data acknowledgement; continuation / flow control.
+/// * `Fack` — final acknowledgement; removes the virtual bus from the RMB.
+///   Every intermediate INC it passes frees the ports used by the
+///   connection.
+/// * `Nack` — negative acknowledgement; refuses a request and releases the
+///   virtual bus associated with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ack {
+    /// Header acknowledgement.
+    Hack {
+        /// The request being acknowledged.
+        request: RequestId,
+    },
+    /// Data-flit acknowledgement (carries the sequence number it covers).
+    Dack {
+        /// The request being acknowledged.
+        request: RequestId,
+        /// Highest data-flit sequence number received so far.
+        sequence: u32,
+    },
+    /// Final-flit acknowledgement: tears the virtual bus down behind it.
+    Fack {
+        /// The request being acknowledged.
+        request: RequestId,
+    },
+    /// Negative acknowledgement: the destination refused the request.
+    Nack {
+        /// The refused request.
+        request: RequestId,
+    },
+}
+
+impl Ack {
+    /// The request this acknowledgement refers to.
+    pub const fn request(&self) -> RequestId {
+        match *self {
+            Ack::Hack { request }
+            | Ack::Dack { request, .. }
+            | Ack::Fack { request }
+            | Ack::Nack { request } => request,
+        }
+    }
+
+    /// Discriminant of this acknowledgement.
+    pub const fn kind(&self) -> AckKind {
+        match self {
+            Ack::Hack { .. } => AckKind::Hack,
+            Ack::Dack { .. } => AckKind::Dack,
+            Ack::Fack { .. } => AckKind::Fack,
+            Ack::Nack { .. } => AckKind::Nack,
+        }
+    }
+
+    /// `true` for the two acknowledgements that end a circuit (`Fack`,
+    /// `Nack`), i.e. those whose backward passage releases bus segments.
+    pub const fn releases_bus(&self) -> bool {
+        matches!(self, Ack::Fack { .. } | Ack::Nack { .. })
+    }
+}
+
+impl fmt::Display for Ack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ack::Hack { request } => write!(f, "Hack({request})"),
+            Ack::Dack { request, sequence } => write!(f, "Dack({request}#{sequence})"),
+            Ack::Fack { request } => write!(f, "Fack({request})"),
+            Ack::Nack { request } => write!(f, "Nack({request})"),
+        }
+    }
+}
+
+/// Acknowledgement discriminants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AckKind {
+    /// Header acknowledgement.
+    Hack,
+    /// Data acknowledgement.
+    Dack,
+    /// Final acknowledgement.
+    Fack,
+    /// Negative acknowledgement.
+    Nack,
+}
+
+impl fmt::Display for AckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AckKind::Hack => "Hack",
+            AckKind::Dack => "Dack",
+            AckKind::Fack => "Fack",
+            AckKind::Nack => "Nack",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_accessors() {
+        let r = RequestId::new(42);
+        let hf = Flit::header(r, NodeId::new(1), NodeId::new(2));
+        assert_eq!(hf.request(), r);
+        assert_eq!(hf.kind(), FlitKind::Header);
+        let df = Flit::data(r, 7, FlitPayload(0xdead));
+        assert_eq!(df.kind(), FlitKind::Data);
+        assert_eq!(df.request(), r);
+        let ff = Flit::final_flit(r);
+        assert_eq!(ff.kind(), FlitKind::Final);
+        assert_eq!(ff.request(), r);
+    }
+
+    #[test]
+    fn ack_accessors_and_release_semantics() {
+        let r = RequestId::new(3);
+        assert_eq!(Ack::Hack { request: r }.kind(), AckKind::Hack);
+        assert_eq!(
+            Ack::Dack {
+                request: r,
+                sequence: 9
+            }
+            .request(),
+            r
+        );
+        assert!(!Ack::Hack { request: r }.releases_bus());
+        assert!(!Ack::Dack {
+            request: r,
+            sequence: 0
+        }
+        .releases_bus());
+        assert!(Ack::Fack { request: r }.releases_bus());
+        assert!(Ack::Nack { request: r }.releases_bus());
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = RequestId::new(5);
+        let hf = Flit::header(r, NodeId::new(0), NodeId::new(4));
+        assert_eq!(hf.to_string(), "HF(r5 n0->n4)");
+        assert_eq!(Flit::data(r, 2, FlitPayload(1)).to_string(), "DF(r5#2)");
+        assert_eq!(Flit::final_flit(r).to_string(), "FF(r5)");
+        assert_eq!(Ack::Nack { request: r }.to_string(), "Nack(r5)");
+        assert_eq!(FlitKind::Header.to_string(), "HF");
+        assert_eq!(AckKind::Fack.to_string(), "Fack");
+    }
+}

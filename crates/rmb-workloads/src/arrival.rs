@@ -1,0 +1,157 @@
+//! Arrival processes for open-loop load sweeps.
+
+use rmb_sim::{EventQueue, SimRng, Tick};
+use rmb_types::{MessageSpec, NodeId};
+
+/// Generates message injection times for an open-loop experiment.
+pub trait ArrivalProcess {
+    /// Produces the message stream for `ticks` simulated ticks on a ring
+    /// of `n` nodes, with message bodies drawn by `flits`.
+    fn generate(
+        &self,
+        n: u32,
+        ticks: u64,
+        rng: &mut SimRng,
+        flits: &mut dyn FnMut(&mut SimRng) -> u32,
+    ) -> Vec<MessageSpec>;
+}
+
+/// Each node independently starts a new message with probability `p` per
+/// tick, to a uniformly random other node — the standard Bernoulli
+/// injection process for interconnect load sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_workloads::{ArrivalProcess, BernoulliArrivals};
+/// use rmb_sim::SimRng;
+///
+/// let arr = BernoulliArrivals::new(0.1);
+/// let mut rng = SimRng::seed(1);
+/// let msgs = arr.generate(8, 100, &mut rng, &mut |_| 4);
+/// assert!(!msgs.is_empty());
+/// assert!(msgs.iter().all(|m| m.source != m.destination));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliArrivals {
+    p: f64,
+}
+
+impl BernoulliArrivals {
+    /// Creates a process with per-node per-tick injection probability `p`
+    /// (clamped to `[0, 1]`).
+    pub fn new(p: f64) -> Self {
+        BernoulliArrivals { p: p.clamp(0.0, 1.0) }
+    }
+
+    /// The injection probability.
+    pub const fn rate(&self) -> f64 {
+        self.p
+    }
+}
+
+impl ArrivalProcess for BernoulliArrivals {
+    fn generate(
+        &self,
+        n: u32,
+        ticks: u64,
+        rng: &mut SimRng,
+        flits: &mut dyn FnMut(&mut SimRng) -> u32,
+    ) -> Vec<MessageSpec> {
+        assert!(n >= 2, "need at least two nodes");
+        // Geometric gap sampling: equivalent to per-tick Bernoulli but
+        // O(messages) instead of O(nodes * ticks). The per-node streams
+        // are merged chronologically through the event queue (stable FIFO
+        // within a tick).
+        let mut queue = EventQueue::new();
+        for node in 0..n {
+            let mut t = rng.geometric_gap(self.p).saturating_sub(1);
+            while t < ticks {
+                let dst = {
+                    let r = rng.index((n - 1) as usize).expect("n >= 2") as u32;
+                    if r >= node {
+                        r + 1
+                    } else {
+                        r
+                    }
+                };
+                let body = flits(rng);
+                queue.schedule(
+                    Tick::new(t),
+                    MessageSpec::new(NodeId::new(node), NodeId::new(dst), body).at(t),
+                );
+                t = t.saturating_add(rng.geometric_gap(self.p));
+            }
+        }
+        std::iter::from_fn(|| queue.pop().map(|(_, m)| m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_matches_expectation() {
+        let arr = BernoulliArrivals::new(0.05);
+        let mut rng = SimRng::seed(9);
+        let ticks = 20_000;
+        let n = 16;
+        let msgs = arr.generate(n, ticks, &mut rng, &mut |_| 1);
+        let expected = 0.05 * ticks as f64 * n as f64;
+        let got = msgs.len() as f64;
+        assert!(
+            (got - expected).abs() < 0.1 * expected,
+            "got {got}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let arr = BernoulliArrivals::new(0.0);
+        let mut rng = SimRng::seed(1);
+        assert!(arr.generate(8, 1000, &mut rng, &mut |_| 1).is_empty());
+    }
+
+    #[test]
+    fn rate_is_clamped() {
+        assert_eq!(BernoulliArrivals::new(7.0).rate(), 1.0);
+        assert_eq!(BernoulliArrivals::new(-1.0).rate(), 0.0);
+    }
+
+    #[test]
+    fn destinations_are_uniform_over_others() {
+        let arr = BernoulliArrivals::new(0.2);
+        let mut rng = SimRng::seed(5);
+        let msgs = arr.generate(4, 50_000, &mut rng, &mut |_| 1);
+        let mut hist = [0u32; 4];
+        for m in &msgs {
+            assert_ne!(m.source, m.destination);
+            hist[m.destination.as_usize()] += 1;
+        }
+        // Every node is someone's destination with roughly equal frequency.
+        let total: u32 = hist.iter().sum();
+        for &h in &hist {
+            let share = h as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.03, "share {share}");
+        }
+    }
+
+    #[test]
+    fn sorted_by_injection_time() {
+        let arr = BernoulliArrivals::new(0.1);
+        let mut rng = SimRng::seed(2);
+        let msgs = arr.generate(8, 2_000, &mut rng, &mut |_| 1);
+        assert!(msgs.windows(2).all(|w| w[0].inject_at <= w[1].inject_at));
+    }
+
+    #[test]
+    fn flit_sampler_is_consulted() {
+        let arr = BernoulliArrivals::new(0.1);
+        let mut rng = SimRng::seed(3);
+        let msgs = arr.generate(8, 1_000, &mut rng, &mut |r| {
+            16 + (r.index(16).unwrap() as u32)
+        });
+        assert!(msgs.iter().all(|m| (16..32).contains(&m.data_flits)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Message-size (data-flit count) distributions.
+
+use rmb_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How many data flits a generated message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every message has exactly this many data flits.
+    Fixed(u32),
+    /// Uniform over `[min, max]` inclusive.
+    Uniform {
+        /// Smallest body size.
+        min: u32,
+        /// Largest body size.
+        max: u32,
+    },
+    /// Bimodal traffic: short control messages with probability `p_short`,
+    /// long bulk messages otherwise — the classic multicomputer mix.
+    Bimodal {
+        /// Body size of short messages.
+        short: u32,
+        /// Body size of long messages.
+        long: u32,
+        /// Probability of a short message.
+        p_short: f64,
+    },
+}
+
+impl SizeDistribution {
+    /// Draws one body size.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            SizeDistribution::Fixed(n) => n,
+            SizeDistribution::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                lo + rng.index((hi - lo + 1) as usize).unwrap_or(0) as u32
+            }
+            SizeDistribution::Bimodal {
+                short,
+                long,
+                p_short,
+            } => {
+                if rng.chance(p_short) {
+                    short
+                } else {
+                    long
+                }
+            }
+        }
+    }
+
+    /// Expected body size.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDistribution::Fixed(n) => f64::from(n),
+            SizeDistribution::Uniform { min, max } => (f64::from(min) + f64::from(max)) / 2.0,
+            SizeDistribution::Bimodal {
+                short,
+                long,
+                p_short,
+            } => {
+                let p = p_short.clamp(0.0, 1.0);
+                f64::from(short) * p + f64::from(long) * (1.0 - p)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SizeDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeDistribution::Fixed(n) => write!(f, "fixed({n})"),
+            SizeDistribution::Uniform { min, max } => write!(f, "uniform({min}..={max})"),
+            SizeDistribution::Bimodal {
+                short,
+                long,
+                p_short,
+            } => write!(f, "bimodal({short}/{long}, p={p_short})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::seed(1);
+        let d = SizeDistribution::Fixed(7);
+        assert!((0..50).all(|_| d.sample(&mut rng) == 7));
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_centres() {
+        let mut rng = SimRng::seed(2);
+        let d = SizeDistribution::Uniform { min: 4, max: 12 };
+        let samples: Vec<u32> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (4..=12).contains(&s)));
+        let mean = samples.iter().map(|&s| f64::from(s)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - d.mean()).abs() < 0.3);
+    }
+
+    #[test]
+    fn uniform_tolerates_swapped_bounds() {
+        let mut rng = SimRng::seed(3);
+        let d = SizeDistribution::Uniform { min: 9, max: 3 };
+        assert!((3..=9).contains(&d.sample(&mut rng)));
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let mut rng = SimRng::seed(4);
+        let d = SizeDistribution::Bimodal {
+            short: 2,
+            long: 64,
+            p_short: 0.75,
+        };
+        let samples: Vec<u32> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+        let shorts = samples.iter().filter(|&&s| s == 2).count() as f64 / 4000.0;
+        assert!((shorts - 0.75).abs() < 0.05);
+        assert!((d.mean() - (0.75 * 2.0 + 0.25 * 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SizeDistribution::Fixed(3).to_string(), "fixed(3)");
+        assert_eq!(
+            SizeDistribution::Uniform { min: 1, max: 2 }.to_string(),
+            "uniform(1..=2)"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Print the paper's §3.2 cost comparison — links, cross points and VLSI
+//! area for k-permutation capability — and cross-check the link formulas
+//! against actually constructed network instances.
+//!
+//! ```text
+//! cargo run --example cost_comparison
+//! ```
+
+use rmb::analysis::cost::{cost, Architecture};
+use rmb::analysis::report::fnum;
+use rmb::analysis::structural::all_checks;
+use rmb::analysis::Table;
+
+fn main() {
+    let n = 1024u32;
+    let k = 16u16;
+    println!("§3.2 cost comparison at N = {n}, k = {k} (k-permutation capability):\n");
+    let mut t = Table::new(vec!["architecture", "links", "cross points", "area"]);
+    for arch in Architecture::ALL {
+        let c = cost(arch, n, k);
+        t.row(vec![
+            arch.to_string(),
+            fnum(c.links),
+            fnum(c.crosspoints),
+            fnum(c.area),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Structural cross-check of the link formulas (N = 64, k = 8):\n");
+    let mut t = Table::new(vec!["architecture", "model", "constructed", "rel. error"]);
+    for c in all_checks(64, 8) {
+        t.row(vec![
+            c.arch.to_string(),
+            fnum(c.model_links),
+            fnum(c.structural_links),
+            format!("{:.4}", c.relative_error()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "The paper's conclusion, visible above: the RMB needs more links\n\
+         than the fat tree but an order of magnitude fewer cross points\n\
+         and far less area than the hypercube family — with constant-length\n\
+         wires throughout."
+    );
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the RMB reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can say `use rmb::core::RmbNetwork;` and downstream
+//! users can depend on a single crate.
+//!
+//! The workspace reproduces *"RMB — A Reconfigurable Multiple Bus Network"*
+//! (ElGindy, Schröder, Spray, Somani, Schmeck — HPCA 1996):
+//!
+//! * [`core`] — the RMB itself: INCs, routing protocol, compaction
+//!   protocol, odd/even cycle synchronisation, the ring network simulator.
+//! * [`asynchronous`] — a threaded RMB where every INC runs on its own OS
+//!   thread with handshake channels (the paper's independent-clock model).
+//! * [`baselines`] — hypercube / EHC / GFC / fat-tree / mesh comparators.
+//! * [`analysis`] — §3.2 cost models and the offline-optimal scheduler.
+//! * [`workloads`] — permutations and arrival processes.
+//! * [`sim`] — the simulation substrate (ticks, events, stats, tracing).
+//! * [`types`] — shared vocabulary.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmb::core::RmbNetwork;
+//! use rmb::types::{MessageSpec, NodeId, RmbConfig};
+//!
+//! let cfg = RmbConfig::new(8, 2)?;
+//! let mut net = RmbNetwork::new(cfg);
+//! net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(3), 4))?;
+//! let report = net.run_to_quiescence(10_000);
+//! assert_eq!(report.delivered.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rmb_analysis as analysis;
+pub use rmb_async as asynchronous;
+pub use rmb_baselines as baselines;
+pub use rmb_core as core;
+pub use rmb_sim as sim;
+pub use rmb_types as types;
+pub use rmb_workloads as workloads;

@@ -1,0 +1,267 @@
+//! A bullet-by-bullet conformance walk through the paper's protocol
+//! description (§2.2–2.4): each test quotes the claim it checks and
+//! drives the public API to observe exactly that behaviour.
+
+use rmb::core::{derive_inc, BusState, RmbNetwork, StreamState};
+use rmb::sim::trace::TraceKind;
+use rmb::types::{MessageSpec, NodeId, RmbConfig};
+
+fn net(n: u32, k: u16) -> RmbNetwork {
+    let mut net = RmbNetwork::new(RmbConfig::new(n, k).unwrap());
+    net.set_checked(true);
+    net
+}
+
+/// §2.2: "New channels of communication are introduced only at top bus,
+/// bus segment k - 1 at that node."
+#[test]
+fn s22_new_channels_enter_at_the_top_bus_only() {
+    let mut net = net(10, 4);
+    net.enable_recording();
+    for s in 0..5 {
+        net.submit(MessageSpec::new(NodeId::new(s), NodeId::new(s + 5), 4).at(u64::from(s) * 7))
+            .unwrap();
+    }
+    net.run_to_quiescence(100_000);
+    let events = net.take_events();
+    let injections: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Inject)
+        .collect();
+    assert_eq!(injections.len(), 5);
+    assert!(
+        injections.iter().all(|e| e.bus == Some(3)),
+        "every insertion at segment k-1"
+    );
+}
+
+/// §2.2: "A request can only be initiated if the top bus segment at that
+/// INC is not being used to serve another request."
+#[test]
+fn s22_busy_top_segment_blocks_initiation() {
+    let mut net = net(8, 2);
+    // A long circuit from node 0 holds the top of hop 0 while it
+    // establishes; a second request at node 0 must wait for compaction
+    // to release it.
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(5), 200))
+        .unwrap();
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(3), 2))
+        .unwrap();
+    net.tick(); // first request claims the top segment
+    assert_eq!(net.active_virtual_buses(), 1);
+    assert_eq!(net.pending_requests(), 1, "second HF buffered at the node");
+    // Only the single-send limit is in play here too; widen it to show
+    // the *segment* is the blocker.
+    let report = net.run_to_quiescence(100_000);
+    assert_eq!(report.delivered.len(), 2);
+}
+
+/// §2.2: "Data flits are only transmitted after an acknowledgement is
+/// received for the HF from the destination. This is in order to avoid
+/// buffering of DFs at intermediate nodes."
+#[test]
+fn s22_no_data_before_hack() {
+    let mut net = net(12, 2);
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(9), 8))
+        .unwrap();
+    let span = 9u64;
+    // Until the Hack returns (2 * span ticks), no data flit may move.
+    for _ in 0..2 * span {
+        net.tick();
+        if let Some(bus) = net.virtual_buses().next() {
+            if let BusState::Streaming(StreamState { next_seq, .. }) = &bus.state {
+                panic!("data flit {next_seq} sent before Hack returned")
+            }
+        }
+    }
+    net.tick();
+    let bus = net.virtual_buses().next().expect("circuit live");
+    assert!(
+        matches!(bus.state, BusState::Streaming(_)),
+        "streaming starts exactly after the Hack: {}",
+        bus.state
+    );
+}
+
+/// §2.2: "A request which is not accepted will have to be tried again at
+/// a later time" — and the Nack "releases the virtual bus associated
+/// with that request."
+#[test]
+fn s22_nack_releases_and_retries() {
+    let mut net = net(10, 3);
+    net.enable_recording();
+    net.submit(MessageSpec::new(NodeId::new(5), NodeId::new(9), 400))
+        .unwrap();
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(9), 2).at(3))
+        .unwrap();
+    net.run(60);
+    let events = net.take_events();
+    assert!(
+        events.iter().any(|e| e.kind == TraceKind::Refuse),
+        "second request refused while the first receives"
+    );
+    // The refused circuit's segments are fully released.
+    let live: usize = net.virtual_buses().map(|b| b.active_hops()).sum();
+    assert_eq!(net.busy_segments(), live);
+    let report = net.run_to_quiescence(1_000_000);
+    assert_eq!(report.delivered.len(), 2, "retry eventually succeeds");
+}
+
+/// §2.2: "A 'Fack' signal is used by all intermediate INCs to free a port
+/// being used by that virtual bus connection."
+#[test]
+fn s22_fack_frees_ports_progressively() {
+    let mut net = net(10, 2);
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(6), 2))
+        .unwrap();
+    // Run until teardown begins.
+    let mut saw_partial_teardown = false;
+    for _ in 0..200 {
+        net.tick();
+        if let Some(bus) = net.virtual_buses().next() {
+            if matches!(bus.state, BusState::TearingDown { .. }) && bus.active_hops() < 6 {
+                saw_partial_teardown = true;
+                // Freed tail hops are genuinely free; the prefix is busy.
+                assert_eq!(net.busy_segments(), bus.active_hops());
+            }
+        }
+    }
+    assert!(saw_partial_teardown, "teardown frees hop by hop");
+    assert_eq!(net.busy_segments(), 0);
+}
+
+/// §2.2: "The motion of virtual-buses for the purpose of compaction is
+/// only downwards."
+#[test]
+fn s22_compaction_moves_only_down() {
+    let mut net = net(12, 4);
+    net.enable_recording();
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(8), 60))
+        .unwrap();
+    net.submit(MessageSpec::new(NodeId::new(2), NodeId::new(10), 60).at(4))
+        .unwrap();
+    net.run_to_quiescence(100_000);
+    let events = net.take_events();
+    let moves: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::CompactMove)
+        .collect();
+    assert!(!moves.is_empty());
+    for m in moves {
+        // Detail string is "hop J moved bX -> bY" with Y = X - 1.
+        let detail = &m.detail;
+        let parts: Vec<&str> = detail.split(" -> ").collect();
+        let from: u16 = parts[0].rsplit('b').next().unwrap().parse().unwrap();
+        let to: u16 = parts[1].trim_start_matches('b').parse().unwrap();
+        assert_eq!(to + 1, from, "{detail}");
+    }
+}
+
+/// §2.3: "A node with a message to be sent, attempts to insert the header
+/// flit HF at the top output port of its INC. If the port is busy, then
+/// the node buffers the HF and waits."
+#[test]
+fn s23_buffered_header_waits_and_then_inserts() {
+    let mut net = net(6, 1); // k = 1: the single bus is also the top bus
+    net.submit(MessageSpec::new(NodeId::new(1), NodeId::new(4), 30))
+        .unwrap();
+    net.submit(MessageSpec::new(NodeId::new(2), NodeId::new(5), 2).at(1))
+        .unwrap();
+    net.run(5);
+    assert_eq!(net.pending_requests(), 1, "second HF buffered");
+    let report = net.run_to_quiescence(100_000);
+    assert_eq!(report.delivered.len(), 2);
+}
+
+/// §2.3: the make-before-break guarantee — "the communication on a
+/// virtual bus progresses independently of the process of compaction."
+/// Delivery times must not change when compaction is disabled for a
+/// single unconstrained circuit.
+#[test]
+fn s23_compaction_does_not_disturb_the_stream() {
+    let run = |compaction: bool| {
+        let cfg = RmbConfig::builder(12, 4)
+            .compaction(compaction)
+            .build()
+            .unwrap();
+        let mut net = RmbNetwork::new(cfg);
+        net.set_checked(true);
+        net.submit(MessageSpec::new(NodeId::new(1), NodeId::new(9), 24))
+            .unwrap();
+        let r = net.run_to_quiescence(10_000);
+        (r.delivered[0].circuit_at, r.delivered[0].delivered_at)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// §2.4 / Fig. 6: each INC output port receives only from inputs within
+/// one index — observed on live register projections throughout a run.
+#[test]
+fn s24_live_registers_stay_within_switching_range() {
+    let mut net = net(10, 4);
+    for s in 0..5 {
+        net.submit(MessageSpec::new(NodeId::new(s), NodeId::new(s + 5), 20).at(u64::from(s) * 2))
+            .unwrap();
+    }
+    for _ in 0..120 {
+        net.tick();
+        for node in net.ring().nodes() {
+            let view = derive_inc(&net, node);
+            for (l, status) in view.outputs.iter().enumerate() {
+                assert!(status.is_allowed(), "{node} out{l}: {status}");
+                if let Some(dir) = status.sole_source() {
+                    let inp = l as i32 + dir.offset();
+                    assert!((0..4).contains(&inp), "{node} out{l} from in{inp}");
+                }
+            }
+        }
+    }
+}
+
+/// §4: "an RMB with k buses should not be considered equivalent of a k
+/// bus system. An RMB with k buses can support many more than k virtual
+/// buses simultaneously."
+#[test]
+fn s4_more_virtual_buses_than_physical_buses() {
+    let n = 24u32;
+    let mut net = net(n, 2); // k = 2
+    // Twelve short disjoint circuits: 12 virtual buses on 2 physical
+    // buses' worth of segments.
+    for i in 0..12 {
+        net.submit(MessageSpec::new(
+            NodeId::new(2 * i),
+            NodeId::new(2 * i + 1),
+            200,
+        ))
+        .unwrap();
+    }
+    net.run(30);
+    assert!(
+        net.active_virtual_buses() >= 10,
+        "only {} live",
+        net.active_virtual_buses()
+    );
+    let report = net.run_to_quiescence(100_000);
+    assert_eq!(report.delivered.len(), 12);
+    assert!(report.peak_virtual_buses > 2, "more virtual buses than k");
+}
+
+/// Fig. 2's definition: a virtual bus is the *chain of segments* a
+/// circuit occupies, which may sit at different physical heights per hop.
+#[test]
+fn fig2_virtual_bus_heights_vary_along_the_path() {
+    let mut net = net(12, 4);
+    net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(9), 300))
+        .unwrap();
+    let mut saw_mixed_heights = false;
+    for _ in 0..30 {
+        net.tick();
+        if let Some(bus) = net.virtual_buses().next() {
+            let hs: Vec<u16> = bus.heights.iter().map(|h| h.index()).collect();
+            if hs.windows(2).any(|w| w[0] != w[1]) {
+                saw_mixed_heights = true;
+            }
+        }
+    }
+    assert!(saw_mixed_heights, "compaction staggers heights mid-flight");
+}

@@ -1,0 +1,92 @@
+//! Public-API hygiene tests: umbrella re-exports, thread-safety markers,
+//! serde round-trips of configuration and results.
+
+use rmb::core::{BusState, RmbNetwork, RunReport, VirtualBus};
+use rmb::sim::{EventQueue, SimRng, Tick};
+use rmb::types::{
+    Ack, AckMode, DeliveredMessage, Flit, MessageSpec, NodeId, RequestId, RmbConfig,
+};
+
+#[test]
+fn umbrella_reexports_cover_all_crates() {
+    // One symbol per crate proves the module wiring.
+    let _ = rmb::types::NodeId::new(0);
+    let _ = rmb::sim::Tick::ZERO;
+    let _ = rmb::core::PortStatus::UNUSED;
+    let _ = rmb::asynchronous::ThreadedCycleRing::new(2);
+    let _ = rmb::baselines::Hypercube::new(4);
+    let _ = rmb::analysis::cost::cost(rmb::analysis::Architecture::Rmb, 8, 2);
+    let _ = rmb::workloads::PermutationKind::Random;
+}
+
+#[test]
+fn key_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RmbConfig>();
+    assert_send_sync::<MessageSpec>();
+    assert_send_sync::<DeliveredMessage>();
+    assert_send_sync::<Flit>();
+    assert_send_sync::<Ack>();
+    assert_send_sync::<RmbNetwork>();
+    assert_send_sync::<RunReport>();
+    assert_send_sync::<VirtualBus>();
+    assert_send_sync::<BusState>();
+    assert_send_sync::<Tick>();
+    assert_send_sync::<SimRng>();
+    assert_send_sync::<EventQueue<u32>>();
+}
+
+#[test]
+fn config_serde_roundtrip() {
+    let cfg = RmbConfig::builder(32, 8)
+        .compaction(true)
+        .early_compaction(false)
+        .head_timeout(100)
+        .ack_mode(AckMode::Windowed { window: 6 })
+        .retry_backoff(9)
+        .build()
+        .unwrap();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: RmbConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn message_and_result_serde_roundtrip() {
+    let spec = MessageSpec::new(NodeId::new(1), NodeId::new(5), 32).at(7);
+    let json = serde_json::to_string(&spec).unwrap();
+    assert_eq!(serde_json::from_str::<MessageSpec>(&json).unwrap(), spec);
+
+    let d = DeliveredMessage {
+        request: RequestId::new(3),
+        spec,
+        requested_at: 7,
+        circuit_at: 20,
+        delivered_at: 60,
+        refusals: 1,
+    };
+    let json = serde_json::to_string(&d).unwrap();
+    assert_eq!(serde_json::from_str::<DeliveredMessage>(&json).unwrap(), d);
+}
+
+#[test]
+fn network_is_usable_behind_a_thread() {
+    // A whole simulation can be shipped to a worker thread (Send).
+    let handle = std::thread::spawn(|| {
+        let mut net = RmbNetwork::new(RmbConfig::new(8, 2).unwrap());
+        net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(4), 8))
+            .unwrap();
+        net.run_to_quiescence(100_000).delivered.len()
+    });
+    assert_eq!(handle.join().unwrap(), 1);
+}
+
+#[test]
+fn errors_are_reportable() {
+    let mut net = RmbNetwork::new(RmbConfig::new(4, 1).unwrap());
+    let err = net
+        .submit(MessageSpec::new(NodeId::new(1), NodeId::new(1), 0))
+        .unwrap_err();
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("not routable"));
+}
