@@ -7,11 +7,10 @@
 //! formula uses, and [`crate::structural`] cross-checks the link counts
 //! against constructed instances under those conventions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The architectures §3.2 compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Architecture {
     /// The ring-based reconfigurable multiple bus network with `k` buses.
@@ -59,7 +58,7 @@ impl fmt::Display for Architecture {
 }
 
 /// The three §3.2 metrics for one architecture at one `(N, k)` point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cost {
     /// Number of links (wires between switching elements).
     pub links: f64,
@@ -138,7 +137,7 @@ pub fn cost(arch: Architecture, n: u32, k: u16) -> Cost {
 }
 
 /// One row of the §3.2 comparison table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ComparisonRow {
     /// Node count.
     pub n: u32,

@@ -94,9 +94,9 @@ impl Network for DualRmbRing {
         }
         let fr = forward.run_to_quiescence(max_ticks);
         let br = backward.run_to_quiescence(max_ticks);
-        let mut delivered = fr.delivered;
+        let mut delivered = forward.delivered_log().to_vec();
         // Report backward deliveries in primary coordinates.
-        for d in br.delivered {
+        for &d in backward.delivered_log() {
             let original = backward_specs
                 .iter()
                 .find(|(_, s)| s.source == d.spec.source && s.destination == d.spec.destination)

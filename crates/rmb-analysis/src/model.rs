@@ -18,10 +18,9 @@
 //! segment-ticks out of `N·k` per tick.
 
 use rmb_types::{MessageSpec, RingSize};
-use serde::{Deserialize, Serialize};
 
 /// The unloaded timing prediction for one message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// Ticks from request to the `Hack` arriving back at the source.
     pub setup: u64,
@@ -85,7 +84,7 @@ mod tests {
                 let mut net = RmbNetwork::new(RmbConfig::new(n, 3).unwrap());
                 net.submit(spec).unwrap();
                 let report = net.run_to_quiescence(100_000);
-                let d = &report.delivered[0];
+                let d = &net.delivered_log()[0];
                 assert_eq!(d.setup_latency(), p.setup, "dst={dst} body={body}");
                 assert_eq!(d.latency(), p.delivery, "dst={dst} body={body}");
                 // The network returns to empty exactly `hold - delivery`
@@ -131,7 +130,7 @@ mod tests {
             }
         }
         let report = net.run_to_quiescence(4_000_000);
-        assert_eq!(report.delivered.len() as u64, next, "stalled={}", report.stalled);
+        assert_eq!(report.delivered as u64, next, "stalled={}", report.stalled);
         let measured = next as f64 / report.ticks as f64;
         assert!(
             measured <= predicted * 1.2,

@@ -21,7 +21,6 @@
 //!   makespan.
 
 use rmb_types::{MessageSpec, RingSize};
-use serde::{Deserialize, Serialize};
 
 /// Service time of one message: how long its circuit holds each hop of
 /// its arc in the RMB protocol model — header transit + Hack return +
@@ -52,7 +51,7 @@ pub fn ring_lower_bound(ring: RingSize, k: u16, messages: &[MessageSpec]) -> u64
 }
 
 /// One scheduled circuit in an offline plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledCircuit {
     /// Index into the input message slice.
     pub message: usize,
@@ -63,7 +62,7 @@ pub struct ScheduledCircuit {
 }
 
 /// An offline batch schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OfflineSchedule {
     /// Per-message assignments, in input order.
     pub circuits: Vec<ScheduledCircuit>,

@@ -67,7 +67,7 @@ impl Network for RmbRing {
             .expect("workload messages are valid for this ring");
         let report = net.run_to_quiescence(max_ticks);
         RoutingOutcome {
-            delivered: report.delivered,
+            delivered: net.delivered_log().to_vec(),
             ticks: report.ticks,
             stalled: report.stalled,
             peak_busy_channels: report.peak_virtual_buses,

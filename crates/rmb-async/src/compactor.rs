@@ -7,7 +7,7 @@
 //! the *decisions* are fully distributed, exactly as in the paper's INC
 //! hardware.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rmb_core::{
     assessed_in_phase, CycleController, CycleFlags, CycleStep, EndpointHeight, HopContext, Phase,
 };
@@ -230,14 +230,14 @@ impl ThreadedCompactor {
             cycle: b & 2 != 0,
         };
 
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for i in 0..n {
                 let grid = &grid;
                 let flags = &flags;
                 let transitions = &transitions;
                 let moves = &moves;
                 let stop = &stop;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctl = CycleController::new(Phase::Even);
                     let left = (i + n - 1) % n;
                     let right = (i + 1) % n;
@@ -247,7 +247,7 @@ impl ThreadedCompactor {
                         }
                         if ctl.may_switch_datapath() && !ctl.internal_done() {
                             let done = {
-                                let mut g = grid.lock();
+                                let mut g = grid.lock().unwrap();
                                 let m = g.compact_at(NodeId::new(i as u32), ctl.phase());
                                 g.check_consistency();
                                 m
@@ -274,10 +274,9 @@ impl ThreadedCompactor {
                     }
                 });
             }
-        })
-        .expect("INC threads do not panic");
+        });
 
-        let grid = grid.into_inner();
+        let grid = grid.into_inner().unwrap();
         grid.check_consistency();
         CompactionResult {
             reached_fixpoint: grid.is_fixpoint(),

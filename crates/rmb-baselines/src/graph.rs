@@ -1,13 +1,12 @@
 //! Directed channel graphs shared by the baseline topologies.
 
-use serde::{Deserialize, Serialize};
 
 /// A vertex in a channel graph (a switch or a terminal).
 pub type Vertex = usize;
 
 /// One directed channel between two vertices. Parallel channels (fat-tree
 /// capacity bundles) are separate entries with the same endpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Channel {
     /// Upstream vertex.
     pub from: Vertex,

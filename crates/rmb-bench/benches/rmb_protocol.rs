@@ -28,7 +28,9 @@ fn loaded_network(n: u32, k: u16) -> RmbNetwork {
 
 fn bench_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("rmb_tick");
-    for (n, k) in [(16u32, 4u16), (64, 8), (256, 16)] {
+    // (64, 4) is the saturated reference point: 64 long-lived circuits
+    // contend for 4 buses, so every phase of the tick scans live state.
+    for (n, k) in [(16u32, 4u16), (64, 4), (64, 8), (256, 16)] {
         group.throughput(Throughput::Elements(u64::from(n) * u64::from(k)));
         group.bench_with_input(
             BenchmarkId::new("loaded", format!("N{n}_k{k}")),
@@ -62,11 +64,35 @@ fn bench_delivery(c: &mut Criterion) {
                     .expect("valid");
                 }
                 let report = net.run_to_quiescence(1_000_000);
-                assert_eq!(report.delivered.len(), n as usize);
+                assert_eq!(report.delivered, n as usize);
                 report.ticks
             });
         });
     }
+    group.finish();
+}
+
+fn bench_sparse_quiescence(c: &mut Criterion) {
+    // A trickle workload: 32 short messages spread over ~128k ticks, so
+    // the overwhelming majority of ticks have no due work. This is the
+    // scenario the idle-tick fast-forward in `run_to_quiescence` targets.
+    let mut group = c.benchmark_group("rmb_sparse");
+    group.sample_size(15);
+    group.bench_function("trickle_quiescence", |b| {
+        b.iter(|| {
+            let mut net = RmbNetwork::new(RmbConfig::new(64, 4).expect("valid"));
+            for i in 0..32u32 {
+                net.submit(
+                    MessageSpec::new(NodeId::new(i % 64), NodeId::new((i + 7) % 64), 8)
+                        .at(u64::from(i) * 4_000),
+                )
+                .expect("valid");
+            }
+            let report = net.run_to_quiescence(1_000_000);
+            assert_eq!(report.delivered, 32);
+            report.ticks
+        });
+    });
     group.finish();
 }
 
@@ -117,7 +143,7 @@ fn bench_microsim_cross(c: &mut Criterion) {
                 net.submit(m).expect("valid");
             }
             let report = net.run_to_quiescence(1_000_000);
-            assert_eq!(report.delivered.len(), n as usize);
+            assert_eq!(report.delivered, n as usize);
             report.ticks
         });
     });
@@ -139,6 +165,7 @@ criterion_group!(
     benches,
     bench_tick,
     bench_delivery,
+    bench_sparse_quiescence,
     bench_compaction,
     bench_microsim_cross
 );

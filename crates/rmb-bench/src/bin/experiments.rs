@@ -70,9 +70,9 @@ fn parse() -> Options {
     opt
 }
 
-fn emit<T: serde::Serialize>(json: bool, name: &str, rows: &T, table: impl std::fmt::Display) {
+fn emit<T: rmb_bench::rows::JsonReport>(json: bool, name: &str, rows: &T, table: impl std::fmt::Display) {
     if json {
-        let body = serde_json::to_string_pretty(rows).expect("rows serialize");
+        let body = rows.to_json();
         println!("{{\"experiment\": \"{name}\", \"rows\": {body}}}");
     } else {
         println!("{table}");

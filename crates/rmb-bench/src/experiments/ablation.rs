@@ -2,14 +2,13 @@
 //! on/off, early (pre-Hack) compaction, top-bus-only insertion, and the
 //! one-ring vs. two-ring organisation.
 
-use serde::Serialize;
 use rmb_analysis::{DualRmbRing, RmbRing, Table};
 use rmb_baselines::Network;
 use rmb_types::{InsertionPolicy, RmbConfig, RmbConfigBuilder};
 use rmb_workloads::{PermutationKind, SizeDistribution, WorkloadConfig, WorkloadSuite};
 
 /// One ablation variant's measurement on the shared workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationResult {
     /// Variant name.
     pub variant: String,

@@ -2,14 +2,13 @@
 //! work): online RMB makespan against the offline greedy schedule and the
 //! congestion lower bound.
 
-use serde::Serialize;
 use rmb_analysis::{offline_schedule, ring_lower_bound, RmbRing, Table};
 use rmb_baselines::Network;
 use rmb_types::{RingSize, RmbConfig};
 use rmb_workloads::{PermutationKind, SizeDistribution, WorkloadConfig, WorkloadSuite};
 
 /// One workload's competitiveness measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CompetitivenessRow {
     /// Workload name.
     pub workload: String,
@@ -44,11 +43,14 @@ pub fn competitiveness(n: u32, k: u16, flits: u32, seed: u64) -> Vec<Competitive
     if n.is_power_of_two() {
         kinds.push(PermutationKind::BitReversal);
     }
-    let mut rows = Vec::new();
-    for kind in kinds {
+    // Workload generation is deterministic per kind (the suite re-seeds
+    // on every call), so each kind is an independent cell; the online run,
+    // offline schedule and bound all fan out over worker threads and come
+    // back in input order.
+    let rows = rmb_sim::par::par_map(&kinds, |&kind| {
         let msgs = suite.permutation(kind);
         if msgs.is_empty() {
-            continue;
+            return None;
         }
         let mut rmb = RmbRing::new(cfg);
         let out = rmb.route_messages(&msgs, 8_000_000);
@@ -60,7 +62,7 @@ pub fn competitiveness(n: u32, k: u16, flits: u32, seed: u64) -> Vec<Competitive
         let sched = offline_schedule(ring, k, &msgs);
         debug_assert!(sched.is_feasible(ring, k, &msgs));
         let lb = ring_lower_bound(ring, k, &msgs);
-        rows.push(CompetitivenessRow {
+        Some(CompetitivenessRow {
             workload: kind.to_string(),
             online,
             offline: sched.makespan,
@@ -70,9 +72,9 @@ pub fn competitiveness(n: u32, k: u16, flits: u32, seed: u64) -> Vec<Competitive
             } else {
                 0.0
             },
-        });
-    }
-    rows
+        })
+    });
+    rows.into_iter().flatten().collect()
 }
 
 /// Renders competitiveness rows as a table.

@@ -8,13 +8,12 @@
 //! This experiment demonstrates the state and shows that the head-timeout
 //! extension (refuse headers blocked too long) restores progress.
 
-use serde::Serialize;
 use rmb_analysis::Table;
 use rmb_core::RmbNetwork;
 use rmb_types::{MessageSpec, NodeId, RmbConfig};
 
 /// Result of the deadlock study at one configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeadlockResult {
     /// Ring size.
     pub n: u32,
@@ -64,10 +63,10 @@ pub fn deadlock_study(n: u32, k: u16, flits: u32, stagger: u64) -> DeadlockResul
         n,
         k,
         verbatim_stalled: vr.stalled,
-        verbatim_delivered: vr.delivered.len(),
-        timeout_completed: tr.delivered.len() == batch.len(),
-        timeout_makespan: if tr.delivered.len() == batch.len() {
-            tr.delivered.iter().map(|d| d.delivered_at).max().unwrap_or(0)
+        verbatim_delivered: vr.delivered,
+        timeout_completed: tr.delivered == batch.len(),
+        timeout_makespan: if tr.delivered == batch.len() {
+            tr.makespan()
         } else {
             0
         },

@@ -3,7 +3,6 @@
 //! the 2-D grid of rings (§4), and multiple concurrent sends per node
 //! (§4).
 
-use serde::Serialize;
 use rmb_analysis::{RmbGrid, RmbLattice, RmbRing, Table};
 use rmb_baselines::{FatTree, Hypercube, Mesh2D, Network};
 use rmb_core::RmbNetwork;
@@ -11,7 +10,7 @@ use rmb_types::{MessageSpec, NodeId, RmbConfig};
 use rmb_workloads::{PermutationKind, SizeDistribution, WorkloadConfig, WorkloadSuite};
 
 /// One row of the hot-spot / multi-receive experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HotspotRow {
     /// Concurrent receives allowed at the hot node.
     pub receives: u32,
@@ -43,8 +42,8 @@ pub fn hotspot_experiment(n: u32, k: u16, rate: f64, bias: f64, seed: u64) -> Ve
         let mut net = RmbNetwork::new(cfg);
         net.submit_all(msgs.iter().copied()).expect("valid workload");
         let report = net.run_to_quiescence(2_000_000);
-        let hot_msgs: Vec<_> = report
-            .delivered
+        let hot_msgs: Vec<_> = net
+            .delivered_log()
             .iter()
             .filter(|d| d.spec.destination == hot)
             .collect();
@@ -55,7 +54,7 @@ pub fn hotspot_experiment(n: u32, k: u16, rate: f64, bias: f64, seed: u64) -> Ve
         };
         rows.push(HotspotRow {
             receives,
-            delivered: report.delivered.len(),
+            delivered: report.delivered,
             hot_latency,
             refusals: report.refusals,
         });
@@ -84,7 +83,7 @@ pub fn hotspot_table(rows: &[HotspotRow]) -> Table {
 
 /// One row of the multicast experiment: a group size, with multicast and
 /// repeated-unicast makespans.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MulticastRow {
     /// Number of destinations.
     pub group: u32,
@@ -143,7 +142,7 @@ pub fn multicast_table(rows: &[MulticastRow]) -> Table {
 }
 
 /// One row of the wire-delay experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WireDelayRow {
     /// Network label (without the wire annotation).
     pub network: String,
@@ -224,7 +223,7 @@ pub fn wire_delay_table(rows: &[WireDelayRow]) -> Table {
 }
 
 /// One row of the grid-composition experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GridRow {
     /// Network label.
     pub network: String,
@@ -321,7 +320,7 @@ pub fn grid_table(rows: &[GridRow]) -> Table {
 }
 
 /// One row of the multi-send experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiSendRow {
     /// Concurrent sends allowed per PE.
     pub sends: u32,
@@ -345,7 +344,7 @@ pub fn multi_send_experiment(n: u32, k: u16, flits: u32) -> Vec<MultiSendRow> {
                 .expect("valid");
         }
         let report = net.run_to_quiescence(4_000_000);
-        assert_eq!(report.delivered.len(), (n - 1) as usize);
+        assert_eq!(report.delivered, (n - 1) as usize);
         rows.push(MultiSendRow {
             sends,
             makespan: report.makespan(),

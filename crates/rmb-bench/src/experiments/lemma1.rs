@@ -2,7 +2,6 @@
 //! never differ by more than one, measured under skewed clocks in both
 //! the tick simulator and the threaded implementation.
 
-use serde::Serialize;
 use rmb_analysis::Table;
 use rmb_async::ThreadedCycleRing;
 use rmb_core::{CompactionMode, RmbNetwork};
@@ -10,7 +9,7 @@ use rmb_sim::SimRng;
 use rmb_types::{MessageSpec, NodeId, RmbConfig};
 
 /// Result of the Lemma 1 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Lemma1Result {
     /// Ring size.
     pub n: u32,

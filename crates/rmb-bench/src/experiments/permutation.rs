@@ -2,14 +2,13 @@
 //! hypercube, fat tree and mesh on the paper's §3 workload (permutations),
 //! all at the same flit-per-tick wire speed.
 
-use serde::Serialize;
 use rmb_analysis::{DualRmbRing, RmbRing, Table};
 use rmb_baselines::{FatTree, Hypercube, KAryNCube, Mesh2D, Network};
 use rmb_types::RmbConfig;
 use rmb_workloads::{PermutationKind, WorkloadConfig, WorkloadSuite};
 
 /// One (network, permutation) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PermutationRow {
     /// Network label.
     pub network: String,
@@ -51,39 +50,43 @@ pub fn permutation_comparison(n: u32, k: u16, flits: u32, seed: u64) -> Vec<Perm
         .build()
         .expect("valid");
 
-    let mut rows = Vec::new();
-    for kind in kinds {
-        let msgs = suite.permutation(kind);
+    // Generate the (cheap, deterministic) workloads up front, then fan
+    // every (permutation, network) simulation out over worker threads.
+    // Results return in input order, so the rows match a serial sweep.
+    let workloads: Vec<(PermutationKind, Vec<_>)> = kinds
+        .iter()
+        .map(|&kind| (kind, suite.permutation(kind)))
+        .collect();
+    let net_count = if side >= 3 { 6 } else { 5 };
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..net_count).map(move |which| (w, which)))
+        .collect();
+    rmb_sim::par::par_map(&cells, |&(w, which)| {
+        let (kind, ref msgs) = workloads[w];
         let max_ticks = 4_000_000;
-        let mut nets: Vec<Box<dyn Network>> = vec![
-            Box::new(RmbRing::new(rmb_cfg)),
-            Box::new(DualRmbRing::new(rmb_cfg)),
-            Box::new(Hypercube::new(n)),
-            Box::new(FatTree::new(n, k)),
-            Box::new(Mesh2D::square(n)),
-        ];
-        let side = (n as f64).sqrt().round() as u32;
-        if side >= 3 {
+        let mut net: Box<dyn Network> = match which {
+            0 => Box::new(RmbRing::new(rmb_cfg)),
+            1 => Box::new(DualRmbRing::new(rmb_cfg)),
+            2 => Box::new(Hypercube::new(n)),
+            3 => Box::new(FatTree::new(n, k)),
+            4 => Box::new(Mesh2D::square(n)),
             // §4's k-ary n-cube, as the square torus.
-            nets.push(Box::new(KAryNCube::new(side, 2)));
+            _ => Box::new(KAryNCube::new(side, 2)),
+        };
+        let out = net.route_messages(msgs, max_ticks);
+        PermutationRow {
+            network: net.label(),
+            permutation: kind.to_string(),
+            messages: msgs.len(),
+            makespan: if out.delivered.len() == msgs.len() {
+                out.makespan()
+            } else {
+                0
+            },
+            mean_latency: out.mean_latency(),
+            stalled: out.stalled || out.delivered.len() != msgs.len(),
         }
-        for net in &mut nets {
-            let out = net.route_messages(&msgs, max_ticks);
-            rows.push(PermutationRow {
-                network: net.label(),
-                permutation: kind.to_string(),
-                messages: msgs.len(),
-                makespan: if out.delivered.len() == msgs.len() {
-                    out.makespan()
-                } else {
-                    0
-                },
-                mean_latency: out.mean_latency(),
-                stalled: out.stalled || out.delivered.len() != msgs.len(),
-            });
-        }
-    }
-    rows
+    })
 }
 
 /// Renders permutation-comparison rows as a table.

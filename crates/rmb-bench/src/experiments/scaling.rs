@@ -3,13 +3,12 @@
 //! scalability discussion (§1: modules composed into larger systems;
 //! §4: 2-D grids as future work).
 
-use serde::Serialize;
 use rmb_analysis::{DualRmbRing, RmbGrid, RmbRing, Table};
 use rmb_baselines::Network;
 use rmb_types::{MessageSpec, NodeId, RmbConfig};
 
 /// One (N, network) scaling point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingRow {
     /// System size.
     pub n: u32,
@@ -23,9 +22,16 @@ pub struct ScalingRow {
 /// staggered rotation-by-(N/2+1) workload (far traffic) over one ring
 /// with `2k` buses and a `side × side` grid of `k`-bus rings — equal
 /// wiring — plus the dual ring at `k` buses per direction.
+///
+/// Every (side, network) cell is an independent simulation, so the grid
+/// fans out over worker threads; results come back in input order, so the
+/// rows (and any serialized report) are identical to a sequential sweep.
 pub fn scaling_experiment(sides: &[u32], k: u16, flits: u32) -> Vec<ScalingRow> {
-    let mut rows = Vec::new();
-    for &side in sides {
+    let cells: Vec<(u32, usize)> = sides
+        .iter()
+        .flat_map(|&side| (0..3).map(move |which| (side, which)))
+        .collect();
+    rmb_sim::par::par_map(&cells, |&(side, which)| {
         let n = side * side;
         let msgs: Vec<MessageSpec> = (0..n)
             .map(|s| {
@@ -35,42 +41,29 @@ pub fn scaling_experiment(sides: &[u32], k: u16, flits: u32) -> Vec<ScalingRow> 
             .filter(|m| m.source != m.destination)
             .collect();
         let max_ticks = 16_000_000;
-
-        let ring_cfg = RmbConfig::builder(n, 2 * k)
-            .head_timeout(16 * u64::from(n))
-            .retry_backoff(u64::from(n))
-            .build()
-            .expect("valid");
-        let dual_cfg = RmbConfig::builder(n, k)
-            .head_timeout(16 * u64::from(n))
-            .retry_backoff(u64::from(n))
-            .build()
-            .expect("valid");
-        let grid_cfg = RmbConfig::builder(side, k)
-            .head_timeout(16 * u64::from(side))
-            .retry_backoff(u64::from(side))
-            .build()
-            .expect("valid");
-
-        let mut nets: Vec<Box<dyn Network>> = vec![
-            Box::new(RmbRing::new(ring_cfg)),
-            Box::new(DualRmbRing::new(dual_cfg)),
-            Box::new(RmbGrid::new(side, side, grid_cfg)),
-        ];
-        for net in &mut nets {
-            let out = net.route_messages(&msgs, max_ticks);
-            rows.push(ScalingRow {
-                n,
-                network: net.label(),
-                makespan: if out.delivered.len() == msgs.len() {
-                    out.makespan()
-                } else {
-                    0
-                },
-            });
+        let cfg = |nodes: u32, buses: u16| {
+            RmbConfig::builder(nodes, buses)
+                .head_timeout(16 * u64::from(nodes))
+                .retry_backoff(u64::from(nodes))
+                .build()
+                .expect("valid")
+        };
+        let mut net: Box<dyn Network> = match which {
+            0 => Box::new(RmbRing::new(cfg(n, 2 * k))),
+            1 => Box::new(DualRmbRing::new(cfg(n, k))),
+            _ => Box::new(RmbGrid::new(side, side, cfg(side, k))),
+        };
+        let out = net.route_messages(&msgs, max_ticks);
+        ScalingRow {
+            n,
+            network: net.label(),
+            makespan: if out.delivered.len() == msgs.len() {
+                out.makespan()
+            } else {
+                0
+            },
         }
-    }
-    rows
+    })
 }
 
 /// Renders scaling rows.

@@ -10,4 +10,5 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod rows;
 pub mod tables;

@@ -1,0 +1,43 @@
+//! The parallel experiment sweeps must be pure functions of their inputs:
+//! the serialized JSON report produced with one worker thread is
+//! byte-for-byte identical to the report produced with many. One test
+//! function covers all sweeps so the `RMB_THREADS` pin (process-global
+//! environment) is never toggled concurrently.
+
+use rmb_bench::experiments::{
+    competitiveness, load_sweep, permutation_comparison, scaling_experiment,
+};
+use rmb_bench::rows::JsonReport;
+
+fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("RMB_THREADS", threads);
+    let r = f();
+    std::env::remove_var("RMB_THREADS");
+    r
+}
+
+#[test]
+fn sweeps_serialize_identically_serial_and_parallel() {
+    // Small instances of each sweep; enough cells that scheduling order
+    // would show if any result leaked across cells.
+    type Run = (&'static str, fn() -> String);
+    let runs: Vec<Run> = vec![
+        ("scaling", || scaling_experiment(&[3, 4], 2, 6).to_json()),
+        ("load", || {
+            load_sweep(12, 3, &[0.001, 0.002, 0.004], 1_500, 6, 9).to_json()
+        }),
+        ("competitive", || competitiveness(12, 3, 8, 5).to_json()),
+        ("permutation", || {
+            permutation_comparison(16, 4, 6, 3).to_json()
+        }),
+    ];
+    for (name, run) in runs {
+        let serial = with_threads("1", run);
+        let parallel = with_threads("8", run);
+        assert!(
+            !serial.is_empty() && serial.contains('{'),
+            "{name}: report should contain rows"
+        );
+        assert_eq!(serial, parallel, "{name}: parallel sweep diverged");
+    }
+}

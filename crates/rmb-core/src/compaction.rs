@@ -12,12 +12,11 @@
 
 use crate::status::{PortStatus, SourceDir};
 use rmb_types::{BusIndex, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The height of the connection on one side of a hop, as seen by the
 /// switchability rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EndpointHeight {
     /// The hop attaches to a PE through the node interface, which can read
     /// from / write to *any* bus port (§2.1) — no height constraint.
@@ -71,7 +70,7 @@ impl fmt::Display for EndpointHeight {
 /// shared INC is currently straight); `Down` means the neighbour is already
 /// at `l - 1`. PE endpoints behave like `Straight` for naming purposes: the
 /// interface simply re-attaches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MoveCondition {
     /// Upstream at `l`, downstream at `l` — both sides straight.
     StraightStraight,
@@ -116,7 +115,7 @@ impl fmt::Display for MoveCondition {
 }
 
 /// The full context needed to decide whether one hop may move down.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HopContext {
     /// Current height of the hop.
     pub height: BusIndex,
@@ -185,7 +184,7 @@ pub fn assessed_in_phase(node: NodeId, bus: BusIndex, phase: Phase) -> bool {
 }
 
 /// The two-phase local synchronisation cycle (§2.4): odd and even.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Phase {
     /// The even cycle.
     #[default]
@@ -239,7 +238,7 @@ impl fmt::Display for Phase {
 /// The three stages are: existing connection, make the parallel connection,
 /// break the original connection. The intermediate codes are exactly the
 /// ones Fig. 7 prints between the before/after states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MbbStage {
     /// Human label for the stage ("existing", "make", "break").
     pub label: &'static str,

@@ -29,11 +29,10 @@
 //! (LD=RD=1)" — use the `LD/RD` form, which we follow.)
 
 use crate::compaction::Phase;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The externally visible flags of one INC's cycle controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CycleFlags {
     /// `OD` — own datapaths switched.
     pub data: bool,
@@ -53,7 +52,7 @@ impl fmt::Display for CycleFlags {
 }
 
 /// The four switching states of an INC (Fig. 9), derived from `(OD, OC)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwitchState {
     /// `OD=0, OC=0` — ready for / performing its own datapath switches,
     /// waiting for neighbours to be ready for a datapath switch.
@@ -94,7 +93,7 @@ impl fmt::Display for SwitchState {
 }
 
 /// What a controller observed / did in one activation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CycleStep {
     /// No rule fired.
     Idle,
@@ -130,7 +129,7 @@ pub enum CycleStep {
 /// c.step(CycleFlags::default(), CycleFlags::default());
 /// assert!(c.flags().data);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CycleController {
     flags: CycleFlags,
     phase: Phase,

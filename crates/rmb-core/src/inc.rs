@@ -8,11 +8,10 @@
 use crate::network::RmbNetwork;
 use crate::status::{PortStatus, SourceDir};
 use rmb_types::{BusIndex, NodeId, VirtualBusId};
-use serde::{Deserialize, Serialize};
 
 /// The projection of one INC: status register per output port, plus the
 /// PE-side attachments.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IncView {
     /// The INC's ring position.
     pub node: NodeId,

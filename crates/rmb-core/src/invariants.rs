@@ -61,7 +61,8 @@ fn fail(invariant: &'static str, detail: String) -> Result<(), InvariantViolatio
 /// Returns the first violation found.
 pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
     let ring = net.ring();
-    let segments = net.segments_raw();
+    let n = ring.as_usize();
+    let k = net.config().buses() as usize;
     let buses = net.buses_raw();
 
     // 1. Consistency, both directions.
@@ -77,7 +78,7 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
                     format!("two virtual buses claim segment (hop {hop}, bus {l})"),
                 );
             }
-            match segments[hop][l] {
+            match net.segment_slot(hop, l) {
                 Some(id) if id == bus.id => {}
                 other => {
                     return fail(
@@ -91,9 +92,9 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
             }
         }
     }
-    for (hop, row) in segments.iter().enumerate() {
-        for (l, slot) in row.iter().enumerate() {
-            if let Some(id) = slot {
+    for hop in 0..n {
+        for l in 0..k {
+            if let Some(id) = net.segment_slot(hop, l) {
                 if expected.get(&(hop, l)) != Some(&id.get()) {
                     return fail(
                         "consistency",

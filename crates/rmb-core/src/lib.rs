@@ -38,7 +38,7 @@
 //! net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(9), 32))?;
 //! net.submit(MessageSpec::new(NodeId::new(2), NodeId::new(11), 32))?;
 //! let report = net.run_to_quiescence(100_000);
-//! assert_eq!(report.delivered.len(), 2);
+//! assert_eq!(report.delivered, 2);
 //! assert!(report.compaction_moves > 0); // the second circuit compacted down
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

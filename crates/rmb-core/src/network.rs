@@ -16,6 +16,18 @@
 //! segment. Within a tick the simulator performs, in order: stream and
 //! teardown progression, destination decisions, head extensions,
 //! injections, one compaction activation, statistics.
+//!
+//! # Hot-path storage
+//!
+//! Live virtual buses sit in a slab ([`BusSlab`]): a slot vector with a
+//! free list, an id→slot index, and a dense list of live ids kept in
+//! ascending id order. Ids are allocated monotonically and buses die only
+//! in the sweep phase, which compacts the id list in place, so iteration
+//! order is identical to the `BTreeMap` this replaced while lookups,
+//! insertions and removals are O(1) with no per-tick allocation. Segment
+//! occupancy is one flat array (`hop * k + bus`) with a per-hop free
+//! count, making [`segment_owner`](RmbNetwork::segment_owner) an array
+//! read and [`path_feasible`](RmbNetwork::path_feasible) O(1) per hop.
 
 use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
 use crate::cycle::CycleRing;
@@ -28,7 +40,7 @@ use rmb_types::{
     AckMode, BusIndex, DeliveredMessage, InsertionPolicy, MessageSpec, NodeId, ProtocolError,
     RequestId, RingSize, RmbConfig, VirtualBusId,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Which compaction engine drives the odd/even cycles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,13 +75,142 @@ struct NodeState {
     receives_active: u32,
 }
 
+/// A compaction move: (bus, hop index, from height, to height, hop node).
+type MoveCmd = (VirtualBusId, usize, BusIndex, BusIndex, usize);
+
+/// Slab storage for live virtual buses (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct BusSlab {
+    /// Slot storage; dead slots are `None` and recycled via `free`.
+    slots: Vec<Option<VirtualBus>>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Slot of each id ever allocated (`DEAD` when not live). Bounded by
+    /// the total id count, at four bytes per id.
+    slot_of: Vec<u32>,
+    /// Live ids in ascending order.
+    active: Vec<VirtualBusId>,
+}
+
+const DEAD: u32 = u32::MAX;
+
+impl BusSlab {
+    fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Live ids in ascending order.
+    fn active_ids(&self) -> &[VirtualBusId] {
+        &self.active
+    }
+
+    /// The live id at position `i` of the active list.
+    fn active_id(&self, i: usize) -> VirtualBusId {
+        self.active[i]
+    }
+
+    fn slot(&self, id: VirtualBusId) -> Option<usize> {
+        match self.slot_of.get(id.get() as usize) {
+            Some(&s) if s != DEAD => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    fn get(&self, id: VirtualBusId) -> Option<&VirtualBus> {
+        self.slot(id).and_then(|s| self.slots[s].as_ref())
+    }
+
+    fn get_mut(&mut self, id: VirtualBusId) -> Option<&mut VirtualBus> {
+        self.slot(id).and_then(|s| self.slots[s].as_mut())
+    }
+
+    /// Inserts a freshly allocated bus. Ids are monotonic, so appending
+    /// keeps `active` sorted.
+    fn insert(&mut self, bus: VirtualBus) {
+        let id = bus.id;
+        debug_assert!(
+            self.active.last().is_none_or(|&last| last < id),
+            "bus ids must ascend"
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(bus);
+                s
+            }
+            None => {
+                self.slots.push(Some(bus));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let idx = id.get() as usize;
+        if self.slot_of.len() <= idx {
+            self.slot_of.resize(idx + 1, DEAD);
+        }
+        self.slot_of[idx] = slot;
+        self.active.push(id);
+    }
+
+    /// Takes a live bus out of its slot for mutation; pair with
+    /// [`put_back`](Self::put_back) or [`discard`](Self::discard).
+    fn take(&mut self, id: VirtualBusId) -> Option<VirtualBus> {
+        self.slot(id).and_then(|s| self.slots[s].take())
+    }
+
+    fn put_back(&mut self, id: VirtualBusId, bus: VirtualBus) {
+        let slot = self.slot(id).expect("putting back a known bus");
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(bus);
+    }
+
+    /// Frees the slot of a bus already removed with [`take`](Self::take).
+    /// The caller owns compacting `active` (see the sweep phase).
+    fn discard(&mut self, id: VirtualBusId) {
+        let slot = self.slot(id).expect("discarding a known bus");
+        debug_assert!(self.slots[slot].is_none(), "discard follows take");
+        self.slot_of[id.get() as usize] = DEAD;
+        self.free.push(slot as u32);
+    }
+
+    /// Overwrites position `i` of the active list (sweep compaction).
+    fn set_active(&mut self, i: usize, id: VirtualBusId) {
+        self.active[i] = id;
+    }
+
+    /// Shortens the active list to `len` entries (sweep compaction).
+    fn truncate_active(&mut self, len: usize) {
+        self.active.truncate(len);
+    }
+
+    /// Live buses in ascending id order.
+    pub(crate) fn values(&self) -> impl Iterator<Item = &VirtualBus> {
+        self.active.iter().map(move |id| {
+            self.get(*id).expect("active ids are live")
+        })
+    }
+
+    /// `(id, bus)` pairs in ascending id order.
+    fn iter(&self) -> impl Iterator<Item = (VirtualBusId, &VirtualBus)> {
+        self.active.iter().map(move |&id| {
+            (id, self.get(id).expect("active ids are live"))
+        })
+    }
+}
+
 /// Summary of a completed (or aborted) simulation run.
+///
+/// This is a set of counters and pre-aggregated statistics — building one
+/// does not copy the delivered-message log. Per-message detail lives in
+/// [`RmbNetwork::delivered_log`].
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Ticks simulated.
     pub ticks: u64,
-    /// Messages delivered in full, in completion order.
-    pub delivered: Vec<DeliveredMessage>,
+    /// Messages delivered in full.
+    pub delivered: usize,
     /// Total `Nack` refusals issued.
     pub refusals: u64,
     /// Total compaction moves performed.
@@ -83,47 +224,34 @@ pub struct RunReport {
     /// `true` if the run ended because no progress was being made while
     /// work remained (a routing stall / deadlock).
     pub stalled: bool,
+    /// Tick of the last delivery (0 when nothing was delivered).
+    makespan: u64,
+    /// Sum of end-to-end latencies over all deliveries.
+    latency_sum: u64,
+    /// Sum of circuit set-up latencies over all deliveries.
+    setup_sum: u64,
 }
 
 impl RunReport {
     /// Tick of the last delivery, or 0 when nothing was delivered.
-    pub fn makespan(&self) -> u64 {
-        self.delivered
-            .iter()
-            .map(|d| d.delivered_at)
-            .max()
-            .unwrap_or(0)
+    pub const fn makespan(&self) -> u64 {
+        self.makespan
     }
 
     /// Mean end-to-end message latency.
     pub fn mean_latency(&self) -> f64 {
-        if self.delivered.is_empty() {
+        if self.delivered == 0 {
             return 0.0;
         }
-        self.delivered.iter().map(|d| d.latency() as f64).sum::<f64>()
-            / self.delivered.len() as f64
-    }
-
-    /// Histogram of end-to-end latencies with the given bin width
-    /// (64 bins plus overflow).
-    pub fn latency_histogram(&self, bin_width: u64) -> rmb_sim::stats::Histogram {
-        let mut h = rmb_sim::stats::Histogram::new(bin_width.max(1), 64);
-        for d in &self.delivered {
-            h.record(d.latency());
-        }
-        h
+        self.latency_sum as f64 / self.delivered as f64
     }
 
     /// Mean circuit set-up latency.
     pub fn mean_setup_latency(&self) -> f64 {
-        if self.delivered.is_empty() {
+        if self.delivered == 0 {
             return 0.0;
         }
-        self.delivered
-            .iter()
-            .map(|d| d.setup_latency() as f64)
-            .sum::<f64>()
-            / self.delivered.len() as f64
+        self.setup_sum as f64 / self.delivered as f64
     }
 }
 
@@ -139,7 +267,7 @@ impl RunReport {
 /// let mut net = RmbNetwork::new(cfg);
 /// net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(4), 8))?;
 /// let report = net.run_to_quiescence(10_000);
-/// assert_eq!(report.delivered.len(), 1);
+/// assert_eq!(report.delivered, 1);
 /// assert!(!report.stalled);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -147,16 +275,21 @@ impl RunReport {
 pub struct RmbNetwork {
     cfg: RmbConfig,
     now: Tick,
-    /// `segments[hop][bus]`: occupancy of the bus segment between node
-    /// `hop` and node `hop + 1`.
-    segments: Vec<Vec<Option<VirtualBusId>>>,
-    buses: BTreeMap<VirtualBusId, VirtualBus>,
+    /// Flat segment-occupancy table: the segment between node `hop` and
+    /// node `hop + 1` at height `bus` is `segments[hop * k + bus]`.
+    segments: Vec<Option<VirtualBusId>>,
+    /// Number of free segments per hop (for the O(1) feasibility oracle).
+    free_per_hop: Vec<u16>,
+    buses: BusSlab,
     nodes: Vec<NodeState>,
     mode: CompactionMode,
     cycles: Option<CycleRing>,
     next_request: u64,
     next_bus: u64,
     busy_segments: usize,
+    /// Skip ahead over stretches of ticks with no due work (only taken in
+    /// synchronous mode, where idle ticks are pure no-ops).
+    fast_forward: bool,
     // Counters and stats.
     delivered: Vec<DeliveredMessage>,
     refusals: u64,
@@ -165,6 +298,12 @@ pub struct RmbNetwork {
     peak_virtual_buses: usize,
     submitted: u64,
     last_progress: u64,
+    latency_sum: u64,
+    setup_sum: u64,
+    last_delivery_at: u64,
+    // Reusable per-tick scratch (kept to avoid per-tick allocation).
+    scratch_ids: Vec<VirtualBusId>,
+    scratch_moves: Vec<MoveCmd>,
     // Tracing / checking.
     recorder: Option<VecSink>,
     checked: bool,
@@ -182,14 +321,16 @@ impl RmbNetwork {
         RmbNetwork {
             cfg,
             now: Tick::ZERO,
-            segments: vec![vec![None; k]; n],
-            buses: BTreeMap::new(),
+            segments: vec![None; n * k],
+            free_per_hop: vec![k as u16; n],
+            buses: BusSlab::default(),
             nodes: vec![NodeState::default(); n],
             mode: CompactionMode::Synchronous,
             cycles: None,
             next_request: 0,
             next_bus: 0,
             busy_segments: 0,
+            fast_forward: true,
             delivered: Vec::new(),
             refusals: 0,
             compaction_moves: 0,
@@ -197,6 +338,11 @@ impl RmbNetwork {
             peak_virtual_buses: 0,
             submitted: 0,
             last_progress: 0,
+            latency_sum: 0,
+            setup_sum: 0,
+            last_delivery_at: 0,
+            scratch_ids: Vec::new(),
+            scratch_moves: Vec::new(),
             recorder: None,
             checked: false,
             height_history: std::collections::HashMap::new(),
@@ -222,6 +368,22 @@ impl RmbNetwork {
             self.cycles = None;
         }
         self.mode = mode;
+    }
+
+    /// Enables or disables the idle-tick fast-forward in
+    /// [`run_to_quiescence`](Self::run_to_quiescence) (on by default).
+    ///
+    /// With fast-forward on, stretches of ticks in which no circuit is
+    /// live and no pending request is due are skipped arithmetically: the
+    /// clock jumps to the next due tick and the skipped all-idle
+    /// utilisation samples are recorded in one step. This only happens in
+    /// synchronous compaction mode — handshake cycle controllers mutate
+    /// state every activation, so their ticks are never no-ops — and
+    /// produces the same run as ticking through the idle stretch (the
+    /// running utilisation mean may differ in the last floating-point
+    /// digit).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Starts recording protocol trace events.
@@ -277,7 +439,7 @@ impl RmbNetwork {
 
     /// Looks up a live virtual bus.
     pub fn virtual_bus(&self, id: VirtualBusId) -> Option<&VirtualBus> {
-        self.buses.get(&id)
+        self.buses.get(id)
     }
 
     /// Requests not yet injected (buffered HFs plus backoff waiters).
@@ -292,29 +454,32 @@ impl RmbNetwork {
 
     /// Instantaneous utilisation: busy segments / (N·k).
     pub fn utilization(&self) -> f64 {
-        let total = self.cfg.nodes().as_usize() * self.cfg.buses() as usize;
+        let total = self.segments.len();
         self.busy_segments as f64 / total as f64
+    }
+
+    #[inline]
+    fn seg(&self, hop: usize, bus: usize) -> Option<VirtualBusId> {
+        self.segments[hop * self.cfg.buses() as usize + bus]
     }
 
     /// The occupant of the segment between `hop` and `hop + 1` at height
     /// `bus`, if any.
     pub fn segment_owner(&self, hop: NodeId, bus: BusIndex) -> Option<VirtualBusId> {
-        self.segments
-            .get(hop.as_usize())
-            .and_then(|h| h.get(bus.as_usize()))
-            .copied()
-            .flatten()
+        let k = self.cfg.buses() as usize;
+        if hop.as_usize() >= self.nodes.len() || bus.as_usize() >= k {
+            return None;
+        }
+        self.seg(hop.as_usize(), bus.as_usize())
     }
 
     /// `true` when every hop of the clockwise path `src → dst` has at
-    /// least one free segment — Theorem 1's availability oracle.
+    /// least one free segment — Theorem 1's availability oracle. O(1) per
+    /// hop via the per-hop free-segment counts.
     pub fn path_feasible(&self, src: NodeId, dst: NodeId) -> bool {
         let ring = self.ring();
         let span = ring.clockwise_distance(src, dst);
-        (0..span).all(|j| {
-            let hop = ring.advance(src, j).as_usize();
-            self.segments[hop].iter().any(|s| s.is_none())
-        })
+        (0..span).all(|j| self.free_per_hop[ring.advance(src, j).as_usize()] > 0)
     }
 
     /// `true` when nothing is in flight and nothing is waiting.
@@ -331,6 +496,15 @@ impl RmbNetwork {
                     .front()
                     .is_some_and(|p| p.not_before <= self.now.get())
             })
+    }
+
+    /// The earliest tick at which a pending request becomes due, if any.
+    /// Only queue fronts matter: injection is head-of-line per node.
+    fn next_due_tick(&self) -> Option<u64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.pending.front().map(|p| p.not_before))
+            .min()
     }
 
     /// Submits a message for delivery.
@@ -459,6 +633,11 @@ impl RmbNetwork {
     }
 
     /// Runs until quiescence, stall, or `max_ticks`, and reports.
+    ///
+    /// With [fast-forward](Self::set_fast_forward) enabled (the default)
+    /// and the synchronous compactor, stretches of ticks with no live
+    /// circuit and no due injection are skipped arithmetically instead of
+    /// being simulated one by one.
     pub fn run_to_quiescence(&mut self, max_ticks: u64) -> RunReport {
         // A parked header only makes progress again after `head_timeout`
         // ticks (its refusal is the progress event), so the stall window
@@ -473,10 +652,39 @@ impl RmbNetwork {
                 .max()
                 .unwrap_or(0)
             + 64;
+        let can_fast_forward =
+            self.fast_forward && matches!(self.mode, CompactionMode::Synchronous);
         let mut stalled = false;
         while self.now.get() < max_ticks {
             if self.is_quiescent() {
                 break;
+            }
+            if can_fast_forward && !self.has_due_work() {
+                // Event horizon: nothing is live (so every phase of the
+                // tick is a no-op) and no injection is due. Jump straight
+                // to the next due tick, accounting for the skipped
+                // all-idle utilisation samples in one step. The ticking
+                // loop below would reach the same state, one no-op tick
+                // at a time.
+                let due = self.next_due_tick().expect("pending work exists");
+                let target = due.min(max_ticks);
+                let from = self.now.get();
+                if target > from {
+                    let skipped = target - from;
+                    debug_assert_eq!(self.busy_segments, 0);
+                    self.utilization.record_repeated(0.0, skipped);
+                    self.now = Tick::new(target);
+                    // The naive loop updates `last_progress` after every
+                    // idle tick except the one on which work comes due.
+                    if skipped >= 2 {
+                        self.last_progress = target - 1;
+                    }
+                    if self.now.get().saturating_sub(self.last_progress) > stall_window {
+                        stalled = true;
+                        break;
+                    }
+                    continue;
+                }
             }
             self.tick();
             if !self.has_due_work() {
@@ -503,16 +711,29 @@ impl RmbNetwork {
         &self.delivered
     }
 
+    /// Histogram of end-to-end latencies of the messages delivered so
+    /// far, with the given bin width (64 bins plus overflow).
+    pub fn latency_histogram(&self, bin_width: u64) -> rmb_sim::stats::Histogram {
+        let mut h = rmb_sim::stats::Histogram::new(bin_width.max(1), 64);
+        for d in &self.delivered {
+            h.record(d.latency());
+        }
+        h
+    }
+
     fn report_with(&self, stalled: bool) -> RunReport {
         RunReport {
             ticks: self.now.get(),
-            delivered: self.delivered.clone(),
+            delivered: self.delivered.len(),
             refusals: self.refusals,
             compaction_moves: self.compaction_moves,
             mean_utilization: self.utilization.mean(),
             peak_virtual_buses: self.peak_virtual_buses,
             undelivered: self.submitted as usize - self.delivered.len(),
             stalled,
+            makespan: self.last_delivery_at,
+            latency_sum: self.latency_sum,
+            setup_sum: self.setup_sum,
         }
     }
 
@@ -523,6 +744,14 @@ impl RmbNetwork {
     /// Returns the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
         check_network(self)
+    }
+
+    /// Appends to the delivered log, maintaining the report aggregates.
+    fn record_delivery(&mut self, d: DeliveredMessage) {
+        self.latency_sum += d.latency();
+        self.setup_sum += d.setup_latency();
+        self.last_delivery_at = self.last_delivery_at.max(d.delivered_at);
+        self.delivered.push(d);
     }
 
     // ------------------------------------------------------------------
@@ -537,11 +766,17 @@ impl RmbNetwork {
             AckMode::Windowed { window } => window.max(1),
             AckMode::Unlimited => u32::MAX,
         };
-        let ids: Vec<VirtualBusId> = self.buses.keys().copied().collect();
-        for id in ids {
-            // Work on the bus by value to satisfy the borrow checker; it is
-            // re-inserted (or dropped) below.
-            let mut bus = match self.buses.remove(&id) {
+        // This is the only phase that removes buses: iterate a scratch
+        // copy of the live ids and compact the slab's active list in
+        // place behind the read cursor.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend_from_slice(self.buses.active_ids());
+        let mut kept = 0usize;
+        for &id in &ids {
+            // Work on the bus by value to satisfy the borrow checker; it
+            // is put back (or discarded) below.
+            let mut bus = match self.buses.take(id) {
                 Some(b) => b,
                 None => continue,
             };
@@ -598,7 +833,7 @@ impl RmbNetwork {
                 progressed = true;
             }
             if let Some(circuit_at) = completed_circuit_at {
-                self.delivered.push(DeliveredMessage {
+                self.record_delivery(DeliveredMessage {
                     request: bus.request,
                     spec: bus.spec,
                     requested_at: bus.requested_at,
@@ -611,7 +846,7 @@ impl RmbNetwork {
                 // span - dist hops before it reached the far end.
                 for tap in &bus.taps {
                     let dist = u64::from(ring.clockwise_distance(bus.spec.source, *tap));
-                    self.delivered.push(DeliveredMessage {
+                    self.record_delivery(DeliveredMessage {
                         request: bus.request,
                         spec: MessageSpec::new(bus.spec.source, *tap, bus.spec.data_flits)
                             .at(bus.spec.inject_at),
@@ -660,6 +895,7 @@ impl RmbNetwork {
                 self.last_progress = now;
             }
             if remove {
+                self.buses.discard(id);
                 let nacked = matches!(bus.state, BusState::Nacked { .. });
                 self.nodes[bus.spec.source.as_usize()].sends_active -= 1;
                 if nacked {
@@ -675,7 +911,7 @@ impl RmbNetwork {
                         .push_back(PendingRequest {
                             request: bus.request,
                             spec: bus.spec,
-                            taps: bus.taps.clone(),
+                            taps: bus.taps,
                             requested_at: bus.requested_at,
                             refusals,
                             not_before: now + backoff,
@@ -690,19 +926,25 @@ impl RmbNetwork {
                     );
                 }
             } else {
-                self.buses.insert(id, bus);
+                self.buses.put_back(id, bus);
+                self.buses.set_active(kept, id);
+                kept += 1;
             }
         }
+        self.buses.truncate_active(kept);
+        self.scratch_ids = ids;
     }
 
     fn decide_at_destinations(&mut self) {
         let ring = self.ring();
         let now = self.now.get();
-        let ids: Vec<VirtualBusId> = self.buses.keys().copied().collect();
-        for id in ids {
+        // No bus is created or removed in this phase, so the active list
+        // is stable and can be walked by position.
+        for i in 0..self.buses.len() {
+            let id = self.buses.active_id(i);
             let (dst, span, head);
             {
-                let bus = &self.buses[&id];
+                let bus = self.buses.get(id).expect("bus is live");
                 if !matches!(bus.state, BusState::Establishing) {
                     continue;
                 }
@@ -714,7 +956,7 @@ impl RmbNetwork {
             // take that node's receive port (arming the tap) or refuse the
             // whole circuit.
             let next_tap = {
-                let bus = &self.buses[&id];
+                let bus = self.buses.get(id).expect("bus is live");
                 bus.taps.get(bus.armed_taps).copied()
             };
             if Some(head) == next_tap {
@@ -722,12 +964,12 @@ impl RmbNetwork {
                     < self.cfg.node.max_concurrent_receives
                 {
                     self.nodes[head.as_usize()].receives_active += 1;
-                    let bus = self.buses.get_mut(&id).expect("bus is live");
+                    let bus = self.buses.get_mut(id).expect("bus is live");
                     bus.armed_taps += 1;
                     bus.parked_since = now;
                     self.trace(TraceKind::Accept, id, head, None, "multicast tap armed");
                 } else {
-                    let bus = self.buses.get_mut(&id).expect("bus is live");
+                    let bus = self.buses.get_mut(id).expect("bus is live");
                     bus.state = BusState::Nacked { freed: 0 };
                     self.refusals += 1;
                     self.trace(TraceKind::Refuse, id, head, None, "multicast tap busy");
@@ -737,9 +979,10 @@ impl RmbNetwork {
             }
             if head != dst {
                 if let Some(limit) = self.cfg.head_timeout {
-                    let parked = now.saturating_sub(self.buses[&id].parked_since);
+                    let parked_since = self.buses.get(id).expect("bus is live").parked_since;
+                    let parked = now.saturating_sub(parked_since);
                     if parked > limit {
-                        let bus = self.buses.get_mut(&id).expect("bus is live");
+                        let bus = self.buses.get_mut(id).expect("bus is live");
                         bus.state = BusState::Nacked { freed: 0 };
                         self.refusals += 1;
                         self.trace(
@@ -756,7 +999,7 @@ impl RmbNetwork {
             }
             let accept = self.nodes[dst.as_usize()].receives_active
                 < self.cfg.node.max_concurrent_receives;
-            let bus = self.buses.get_mut(&id).expect("bus is live");
+            let bus = self.buses.get_mut(id).expect("bus is live");
             if accept {
                 bus.state = BusState::AwaitingHack { hops_left: span };
                 self.nodes[dst.as_usize()].receives_active += 1;
@@ -774,11 +1017,12 @@ impl RmbNetwork {
         let ring = self.ring();
         let now = self.now.get();
         let top = self.cfg.top_bus();
-        let ids: Vec<VirtualBusId> = self.buses.keys().copied().collect();
-        for id in ids {
+        // As in the decision phase, the active list is stable here.
+        for i in 0..self.buses.len() {
+            let id = self.buses.active_id(i);
             let (head, last_height, injected_at);
             {
-                let bus = &self.buses[&id];
+                let bus = self.buses.get(id).expect("bus is live");
                 if !matches!(bus.state, BusState::Establishing) {
                     continue;
                 }
@@ -802,7 +1046,7 @@ impl RmbNetwork {
             let chosen = match self.cfg.insertion {
                 InsertionPolicy::TopBusOnly => {
                     // Header flits travel on the top lane only (§2.3).
-                    (self.segments[hop][top.as_usize()].is_none()).then_some(top)
+                    (self.seg(hop, top.as_usize()).is_none()).then_some(top)
                 }
                 InsertionPolicy::AnyFreeBus => self.free_within_reach(hop, last_height),
             };
@@ -812,7 +1056,7 @@ impl RmbNetwork {
                     "extension out of the INC switching range"
                 );
                 self.occupy(hop, height, id);
-                let bus = self.buses.get_mut(&id).expect("bus is live");
+                let bus = self.buses.get_mut(id).expect("bus is live");
                 bus.heights.push(height);
                 bus.parked_since = now;
                 self.trace(
@@ -831,17 +1075,21 @@ impl RmbNetwork {
     /// within switching reach of `from`, preferring straight, then down,
     /// then up.
     fn free_within_reach(&self, hop: usize, from: BusIndex) -> Option<BusIndex> {
-        let k = self.cfg.buses();
-        let mut candidates = vec![from];
+        if self.seg(hop, from.as_usize()).is_none() {
+            return Some(from);
+        }
         if let Some(lower) = from.lower() {
-            candidates.push(lower);
+            if self.seg(hop, lower.as_usize()).is_none() {
+                return Some(lower);
+            }
         }
-        if from.index() + 1 < k {
-            candidates.push(from.upper());
+        if from.index() + 1 < self.cfg.buses() {
+            let upper = from.upper();
+            if self.seg(hop, upper.as_usize()).is_none() {
+                return Some(upper);
+            }
         }
-        candidates
-            .into_iter()
-            .find(|c| self.segments[hop][c.as_usize()].is_none())
+        None
     }
 
     fn inject_pending(&mut self) {
@@ -867,14 +1115,14 @@ impl RmbNetwork {
                 InsertionPolicy::TopBusOnly => {
                     // A request may only be initiated when the top segment
                     // at this INC is not serving another request (§2.2).
-                    (self.segments[s][top.as_usize()].is_none()).then_some(top)
+                    (self.seg(s, top.as_usize()).is_none()).then_some(top)
                 }
                 InsertionPolicy::AnyFreeBus => {
                     // Highest free segment on the source hop.
                     (0..self.cfg.buses())
                         .rev()
                         .map(BusIndex::new)
-                        .find(|b| self.segments[s][b.as_usize()].is_none())
+                        .find(|b| self.seg(s, b.as_usize()).is_none())
                 }
             };
             let Some(height) = height else {
@@ -905,7 +1153,7 @@ impl RmbNetwork {
                 Some(height),
                 "HF inserted",
             );
-            self.buses.insert(id, bus);
+            self.buses.insert(bus);
             self.last_progress = now;
         }
     }
@@ -920,10 +1168,12 @@ impl RmbNetwork {
                 // Decide against the phase-start snapshot, then apply: the
                 // odd/even assessment rule guarantees the decided moves are
                 // mutually compatible (see compaction::tests).
-                let moves = self.collect_moves(phase, None);
-                for (id, j, from, to, hop) in moves {
+                let mut moves = std::mem::take(&mut self.scratch_moves);
+                self.collect_moves_into(phase, None, &mut moves);
+                for (id, j, from, to, hop) in moves.drain(..) {
                     self.apply_move(id, j, from, to, hop);
                 }
+                self.scratch_moves = moves;
             }
             CompactionMode::Handshake { periods } => {
                 let now = self.now.get();
@@ -942,10 +1192,12 @@ impl RmbNetwork {
                     if may_switch && !done {
                         // Perform this INC's datapath switches for its
                         // local phase, then raise ID.
-                        let moves = self.collect_moves(phase, Some(NodeId::new(i as u32)));
-                        for (id, j, from, to, hop) in moves {
+                        let mut moves = std::mem::take(&mut self.scratch_moves);
+                        self.collect_moves_into(phase, Some(NodeId::new(i as u32)), &mut moves);
+                        for (id, j, from, to, hop) in moves.drain(..) {
                             self.apply_move(id, j, from, to, hop);
                         }
+                        self.scratch_moves = moves;
                         let cycles = self.cycles.as_mut().expect("handshake ring exists");
                         cycles.set_internal_done(i, true);
                     }
@@ -971,17 +1223,18 @@ impl RmbNetwork {
         }
     }
 
-    /// Collects the eligible moves for `phase`, optionally restricted to
-    /// hops whose upstream INC is `only_node`.
-    #[allow(clippy::type_complexity)]
-    fn collect_moves(
+    /// Collects the eligible moves for `phase` into `out` (cleared
+    /// first), optionally restricted to hops whose upstream INC is
+    /// `only_node`.
+    fn collect_moves_into(
         &self,
         phase: Phase,
         only_node: Option<NodeId>,
-    ) -> Vec<(VirtualBusId, usize, BusIndex, BusIndex, usize)> {
+        out: &mut Vec<MoveCmd>,
+    ) {
+        out.clear();
         let ring = self.ring();
-        let mut moves = Vec::new();
-        for (id, bus) in &self.buses {
+        for (id, bus) in self.buses.iter() {
             if !bus.state.compactable() {
                 continue;
             }
@@ -1002,11 +1255,10 @@ impl RmbNetwork {
                 let ctx = self.hop_context(bus, j);
                 if ctx.switchable_down().is_some() {
                     let to = height.lower().expect("switchable implies not bottom");
-                    moves.push((*id, j, height, to, node.as_usize()));
+                    out.push((id, j, height, to, node.as_usize()));
                 }
             }
         }
-        moves
     }
 
     /// The compaction context of hop `j` of `bus`.
@@ -1036,7 +1288,7 @@ impl RmbNetwork {
         let hop = bus.hop_upstream_node(ring, j).as_usize();
         let below_free = height
             .lower()
-            .map(|lo| self.segments[hop][lo.as_usize()].is_none())
+            .map(|lo| self.seg(hop, lo.as_usize()).is_none())
             .unwrap_or(false);
         HopContext {
             height,
@@ -1048,11 +1300,11 @@ impl RmbNetwork {
     }
 
     fn apply_move(&mut self, id: VirtualBusId, j: usize, from: BusIndex, to: BusIndex, hop: usize) {
-        debug_assert_eq!(self.segments[hop][from.as_usize()], Some(id));
-        debug_assert!(self.segments[hop][to.as_usize()].is_none());
+        debug_assert_eq!(self.seg(hop, from.as_usize()), Some(id));
+        debug_assert!(self.seg(hop, to.as_usize()).is_none());
         self.release(hop, from);
         self.occupy(hop, to, id);
-        let bus = self.buses.get_mut(&id).expect("moving a live bus");
+        let bus = self.buses.get_mut(id).expect("moving a live bus");
         bus.heights[j] = to;
         self.compaction_moves += 1;
         self.last_progress = self.now.get();
@@ -1099,17 +1351,19 @@ impl RmbNetwork {
     }
 
     fn occupy(&mut self, hop: usize, bus: BusIndex, id: VirtualBusId) {
-        let slot = &mut self.segments[hop][bus.as_usize()];
+        let slot = &mut self.segments[hop * self.cfg.buses() as usize + bus.as_usize()];
         debug_assert!(slot.is_none(), "segment double-booked");
         *slot = Some(id);
         self.busy_segments += 1;
+        self.free_per_hop[hop] -= 1;
     }
 
     fn release(&mut self, hop: usize, bus: BusIndex) {
-        let slot = &mut self.segments[hop][bus.as_usize()];
+        let slot = &mut self.segments[hop * self.cfg.buses() as usize + bus.as_usize()];
         debug_assert!(slot.is_some(), "releasing a free segment");
         *slot = None;
         self.busy_segments -= 1;
+        self.free_per_hop[hop] += 1;
     }
 
     fn trace(
@@ -1132,13 +1386,14 @@ impl RmbNetwork {
         }
     }
 
-    /// Internal accessor for the invariant checker and renderers.
-    pub(crate) fn segments_raw(&self) -> &[Vec<Option<VirtualBusId>>] {
-        &self.segments
+    /// Internal accessor for the invariant checker and renderers: the
+    /// occupant of `(hop, bus)` by raw index.
+    pub(crate) fn segment_slot(&self, hop: usize, bus: usize) -> Option<VirtualBusId> {
+        self.seg(hop, bus)
     }
 
     /// Internal accessor for the invariant checker and renderers.
-    pub(crate) fn buses_raw(&self) -> &BTreeMap<VirtualBusId, VirtualBus> {
+    pub(crate) fn buses_raw(&self) -> &BusSlab {
         &self.buses
     }
 
@@ -1156,5 +1411,66 @@ impl RmbNetwork {
     /// neighbouring INCs (Lemma 1 bound), if in handshake mode.
     pub fn max_cycle_skew(&self) -> Option<u64> {
         self.cycles.as_ref().map(|r| r.max_neighbour_skew())
+    }
+}
+
+#[cfg(test)]
+mod slab_tests {
+    use super::*;
+    use crate::virtual_bus::BusState;
+
+    fn dummy_bus(id: u64) -> VirtualBus {
+        VirtualBus {
+            id: VirtualBusId::new(id),
+            request: RequestId::new(id),
+            spec: MessageSpec::new(NodeId::new(0), NodeId::new(1), 4),
+            requested_at: 0,
+            injected_at: 0,
+            refusals: 0,
+            heights: vec![BusIndex::new(0)],
+            parked_since: 0,
+            taps: Vec::new(),
+            armed_taps: 0,
+            state: BusState::Establishing,
+        }
+    }
+
+    #[test]
+    fn insert_get_take_discard_cycle() {
+        let mut slab = BusSlab::default();
+        for id in 0..5 {
+            slab.insert(dummy_bus(id));
+        }
+        assert_eq!(slab.len(), 5);
+        assert_eq!(slab.get(VirtualBusId::new(3)).unwrap().id.get(), 3);
+        // Iteration is id-ascending.
+        let order: Vec<u64> = slab.iter().map(|(id, _)| id.get()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        // Take and put back keeps the bus live.
+        let b = slab.take(VirtualBusId::new(2)).unwrap();
+        slab.put_back(VirtualBusId::new(2), b);
+        assert!(slab.get(VirtualBusId::new(2)).is_some());
+        // Remove 1 and 3 the way the sweep does: take + discard + compact.
+        let ids: Vec<VirtualBusId> = slab.active_ids().to_vec();
+        let mut kept = 0;
+        for id in ids {
+            let bus = slab.take(id).unwrap();
+            if id.get() == 1 || id.get() == 3 {
+                slab.discard(id);
+            } else {
+                slab.put_back(id, bus);
+                slab.set_active(kept, id);
+                kept += 1;
+            }
+        }
+        slab.truncate_active(kept);
+        assert_eq!(slab.len(), 3);
+        assert!(slab.get(VirtualBusId::new(1)).is_none());
+        let order: Vec<u64> = slab.iter().map(|(id, _)| id.get()).collect();
+        assert_eq!(order, vec![0, 2, 4]);
+        // New ids recycle freed slots but keep ascending order.
+        slab.insert(dummy_bus(5));
+        let order: Vec<u64> = slab.iter().map(|(id, _)| id.get()).collect();
+        assert_eq!(order, vec![0, 2, 4, 5]);
     }
 }

@@ -29,7 +29,7 @@ pub fn render_occupancy(net: &RmbNetwork) -> String {
     for l in (0..k).rev() {
         let _ = write!(out, "b{l} |");
         for hop in 0..n {
-            let cell = match net.segments_raw()[hop][l] {
+            let cell = match net.segment_slot(hop, l) {
                 Some(id) => bus_letter(id),
                 None => '.',
             };

@@ -17,11 +17,10 @@
 //! combining "above" and "below" (5 = `101` and 7 = `111`) are marked *not
 //! allowed* in Table 1.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The direction an output port receives from, relative to its own index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SourceDir {
     /// From input port `l - 1`.
     Below,
@@ -92,7 +91,7 @@ impl fmt::Display for SourceDir {
 /// let bad = PortStatus::from_bits(0b101).unwrap();
 /// assert!(!bad.is_allowed()); // "above and below" is Table 1's "Not allowed"
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PortStatus(u8);
 
 impl PortStatus {

@@ -7,12 +7,11 @@
 //! breaking the circuit.
 
 use rmb_types::{BusIndex, MessageSpec, NodeId, RequestId, RingSize, VirtualBusId};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Lifecycle state of a virtual bus.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BusState {
     /// The header flit is drawing the bus toward the destination; the head
     /// is parked at the INC one hop past the last occupied segment.
@@ -77,7 +76,7 @@ impl fmt::Display for BusState {
 /// over a circuit of `L` hops is delivered at `s + L` and its `Dack` is
 /// back at the source at `s + 2L`. The queues hold send ticks awaiting
 /// those two milestones.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StreamState {
     /// Tick at which the `Hack` reached the source (circuit established).
     pub circuit_at: u64,
@@ -94,7 +93,7 @@ pub struct StreamState {
 }
 
 /// One virtual bus.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirtualBus {
     /// Identity of this circuit.
     pub id: VirtualBusId,

@@ -34,8 +34,8 @@ fn run_both(n: u32, k: u16, msgs: &[MessageSpec]) -> (Outcome, Outcome) {
     }
     explicit.run_to_quiescence(cap);
 
-    let mut a: Outcome = report
-        .delivered
+    let mut a: Outcome = reference
+        .delivered_log()
         .iter()
         .map(|d| (d.request.get(), d.circuit_at, d.delivered_at))
         .collect();

@@ -20,24 +20,19 @@ fn multicast_delivers_to_every_destination() {
     net.submit_multicast(NodeId::new(1), &nodes(&[4, 7, 9]), 8, 0)
         .unwrap();
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 3, "one delivery per destination");
+    assert_eq!(report.delivered, 3, "one delivery per destination");
     assert_eq!(report.undelivered, 0);
-    let mut dests: Vec<u32> = report
-        .delivered
+    let mut dests: Vec<u32> = net
+        .delivered_log()
         .iter()
         .map(|d| d.spec.destination.index())
         .collect();
     dests.sort_unstable();
     assert_eq!(dests, vec![4, 7, 9]);
     // All three share one request and one circuit.
-    assert!(report
-        .delivered
-        .iter()
-        .all(|d| d.request == report.delivered[0].request));
-    assert!(report
-        .delivered
-        .iter()
-        .all(|d| d.circuit_at == report.delivered[0].circuit_at));
+    let log = net.delivered_log();
+    assert!(log.iter().all(|d| d.request == log[0].request));
+    assert!(log.iter().all(|d| d.circuit_at == log[0].circuit_at));
     assert!(net.is_quiescent());
     assert_eq!(net.busy_segments(), 0);
 }
@@ -47,10 +42,9 @@ fn nearer_taps_receive_earlier() {
     let mut net = net(12, 3);
     net.submit_multicast(NodeId::new(0), &nodes(&[3, 6, 9]), 16, 0)
         .unwrap();
-    let report = net.run_to_quiescence(10_000);
+    net.run_to_quiescence(10_000);
     let at = |d: u32| {
-        report
-            .delivered
+        net.delivered_log()
             .iter()
             .find(|m| m.spec.destination.index() == d)
             .unwrap()
@@ -72,14 +66,14 @@ fn multicast_uses_one_circuit_not_three() {
     mc.submit_multicast(NodeId::new(0), &destinations, 32, 0)
         .unwrap();
     let mc_report = mc.run_to_quiescence(100_000);
-    assert_eq!(mc_report.delivered.len(), 3);
+    assert_eq!(mc_report.delivered, 3);
 
     let mut uc = net(10, 1);
     for d in &destinations {
         uc.submit(MessageSpec::new(NodeId::new(0), *d, 32)).unwrap();
     }
     let uc_report = uc.run_to_quiescence(100_000);
-    assert_eq!(uc_report.delivered.len(), 3);
+    assert_eq!(uc_report.delivered, 3);
 
     assert!(
         mc_report.makespan() * 2 < uc_report.makespan(),
@@ -99,7 +93,7 @@ fn busy_tap_refuses_and_retries() {
     net.submit_multicast(NodeId::new(0), &nodes(&[5, 8]), 4, 4)
         .unwrap();
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 3, "unicast + two multicast legs");
+    assert_eq!(report.delivered, 3, "unicast + two multicast legs");
     assert!(report.refusals >= 1, "tap at busy node 5 must Nack once");
     assert!(net.is_quiescent());
 }
@@ -111,7 +105,7 @@ fn broadcast_to_all_other_nodes() {
     let everyone: Vec<NodeId> = (1..n).map(NodeId::new).collect();
     net.submit_multicast(NodeId::new(0), &everyone, 8, 0).unwrap();
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), (n - 1) as usize);
+    assert_eq!(report.delivered, (n - 1) as usize);
     assert_eq!(report.undelivered, 0);
 }
 
@@ -140,7 +134,7 @@ fn multicast_validation() {
     net.submit_multicast(NodeId::new(0), &nodes(&[4]), 4, 0)
         .unwrap();
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 1);
+    assert_eq!(report.delivered, 1);
 }
 
 #[test]
@@ -150,10 +144,9 @@ fn unordered_destination_lists_are_sorted_along_the_ring() {
         .unwrap();
     // Clockwise from 6: 8 (2 hops), 10 (4 hops), 2 (8 hops).
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 3);
+    assert_eq!(report.delivered, 3);
     let at = |d: u32| {
-        report
-            .delivered
+        net.delivered_log()
             .iter()
             .find(|m| m.spec.destination.index() == d)
             .unwrap()
@@ -176,5 +169,5 @@ fn multicast_circuit_compacts_like_any_other() {
         bus.heights
     );
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
 }

@@ -48,12 +48,12 @@ proptest! {
         let mut net = checked_net(n, k);
         let ids = net.submit_all(msgs.clone()).unwrap();
         let report = net.run_to_quiescence(4_000_000);
-        prop_assert!(!report.stalled, "stalled with {} delivered", report.delivered.len());
-        prop_assert_eq!(report.delivered.len(), msgs.len());
+        prop_assert!(!report.stalled, "stalled with {} delivered", report.delivered);
+        prop_assert_eq!(report.delivered, msgs.len());
         prop_assert_eq!(net.busy_segments(), 0);
         prop_assert!(net.is_quiescent());
         // Exactly-once delivery: each request id appears once.
-        let mut seen: Vec<u64> = report.delivered.iter().map(|d| d.request.get()).collect();
+        let mut seen: Vec<u64> = net.delivered_log().iter().map(|d| d.request.get()).collect();
         seen.sort_unstable();
         let mut want: Vec<u64> = ids.iter().map(|r| r.get()).collect();
         want.sort_unstable();
@@ -74,7 +74,7 @@ proptest! {
         let report = net.run_to_quiescence(4_000_000);
         prop_assert!(!report.stalled);
         let ring = net.ring();
-        for d in &report.delivered {
+        for d in net.delivered_log() {
             let span = ring.clockwise_distance(d.spec.source, d.spec.destination) as u64;
             // Head: >= span-1 extension ticks; Hack: span; DFs + FF:
             // >= data + 1 sends; FF travel: span.
@@ -112,7 +112,7 @@ proptest! {
         let r_hs = hs.run_to_quiescence(4_000_000);
 
         prop_assert!(!r_sync.stalled && !r_hs.stalled);
-        prop_assert_eq!(r_sync.delivered.len(), r_hs.delivered.len());
+        prop_assert_eq!(r_sync.delivered, r_hs.delivered);
         prop_assert!(hs.max_cycle_skew().unwrap() <= 1, "Lemma 1");
     }
 
@@ -140,7 +140,7 @@ proptest! {
             max_skew = max_skew.max(net.max_cycle_skew().unwrap());
         }
         prop_assert!(net.is_quiescent(), "did not drain");
-        prop_assert_eq!(net.report().delivered.len(), msgs.len());
+        prop_assert_eq!(net.report().delivered, msgs.len());
         prop_assert!(max_skew <= 1, "Lemma 1 violated: skew {}", max_skew);
     }
 
@@ -156,7 +156,7 @@ proptest! {
         net.submit_all(msgs.clone()).unwrap();
         let report = net.run_to_quiescence(4_000_000);
         prop_assert!(!report.stalled);
-        prop_assert_eq!(report.delivered.len(), msgs.len());
+        prop_assert_eq!(report.delivered, msgs.len());
         prop_assert_eq!(report.compaction_moves, 0);
     }
 
@@ -177,8 +177,48 @@ proptest! {
         prop_assert!(net.path_feasible(NodeId::new(src), NodeId::new(dst)));
         net.submit(MessageSpec::new(NodeId::new(src), NodeId::new(dst), flits)).unwrap();
         let report = net.run_to_quiescence(1_000_000);
-        prop_assert_eq!(report.delivered.len(), 1);
+        prop_assert_eq!(report.delivered, 1);
         prop_assert_eq!(report.refusals, 0);
-        prop_assert_eq!(report.delivered[0].refusals, 0);
+        prop_assert_eq!(net.delivered_log()[0].refusals, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The idle-tick fast-forward in `run_to_quiescence` is unobservable:
+    /// a trickle workload with multi-thousand-tick gaps produces the same
+    /// report (ticks, deliveries, refusals, compaction moves) and the
+    /// same per-message delivery log as the naive one-tick-at-a-time run.
+    #[test]
+    fn fast_forward_matches_naive_run(
+        n in 4u32..20,
+        k in 1u16..5,
+        raw in vec(any::<RawMsg>(), 1..12),
+    ) {
+        // Spread injections so most ticks have no due work (the case the
+        // fast-forward exists for), with occasional bursts.
+        let msgs: Vec<MessageSpec> = raw
+            .iter()
+            .map(|&(s, off, flits, at)| {
+                let src = s % n;
+                let dst = (src + 1 + off % (n - 1)) % n;
+                MessageSpec::new(NodeId::new(src), NodeId::new(dst), flits % 24)
+                    .at((at % 8) * 5_000)
+            })
+            .collect();
+        let run = |fast: bool| {
+            let mut net = checked_net(n, k);
+            net.set_fast_forward(fast);
+            net.submit_all(msgs.iter().copied()).unwrap();
+            let r = net.run_to_quiescence(1_000_000);
+            let log: Vec<_> = net
+                .delivered_log()
+                .iter()
+                .map(|d| (d.request.get(), d.circuit_at, d.delivered_at, d.refusals))
+                .collect();
+            (r.ticks, r.delivered, r.refusals, r.compaction_moves, r.stalled, log)
+        };
+        prop_assert_eq!(run(true), run(false));
     }
 }

@@ -27,8 +27,8 @@ fn single_message_exact_timing() {
     let mut net = net(8, 2);
     net.submit(msg(0, 4, 4)).unwrap();
     let report = net.run_to_quiescence(1_000);
-    assert_eq!(report.delivered.len(), 1);
-    let d = &report.delivered[0];
+    assert_eq!(report.delivered, 1);
+    let d = &net.delivered_log()[0];
     assert_eq!(d.requested_at, 0);
     assert_eq!(d.circuit_at, 8);
     assert_eq!(d.delivered_at, 17);
@@ -45,9 +45,9 @@ fn adjacent_message_minimal_path() {
     let mut net = net(4, 2);
     net.submit(msg(0, 1, 1)).unwrap();
     let report = net.run_to_quiescence(100);
-    assert_eq!(report.delivered.len(), 1);
-    assert_eq!(report.delivered[0].circuit_at, 2);
-    assert_eq!(report.delivered[0].delivered_at, 5);
+    assert_eq!(report.delivered, 1);
+    assert_eq!(net.delivered_log()[0].circuit_at, 2);
+    assert_eq!(net.delivered_log()[0].delivered_at, 5);
 }
 
 #[test]
@@ -55,7 +55,7 @@ fn zero_data_flit_message_is_legal() {
     let mut net = net(6, 2);
     net.submit(msg(1, 3, 0)).unwrap();
     let report = net.run_to_quiescence(1_000);
-    assert_eq!(report.delivered.len(), 1);
+    assert_eq!(report.delivered, 1);
 }
 
 #[test]
@@ -63,9 +63,9 @@ fn wraparound_path_crosses_node_zero() {
     let mut net = net(8, 2);
     net.submit(msg(6, 2, 4)).unwrap();
     let report = net.run_to_quiescence(1_000);
-    assert_eq!(report.delivered.len(), 1);
+    assert_eq!(report.delivered, 1);
     // Span is 4 hops: 6->7->0->1->2.
-    assert_eq!(report.delivered[0].circuit_at, 8);
+    assert_eq!(net.delivered_log()[0].circuit_at, 8);
 }
 
 #[test]
@@ -77,12 +77,12 @@ fn second_circuit_compacts_below_first() {
     net.submit(msg(0, 8, 64)).unwrap();
     net.submit(msg(1, 7, 64)).unwrap();
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
     assert!(report.compaction_moves > 0);
     // Both circuits overlap in time: the second need not wait for the
     // first to finish (full utilisation of the multiple buses).
-    let d0 = &report.delivered[0];
-    let d1 = &report.delivered[1];
+    let d0 = &net.delivered_log()[0];
+    let d1 = &net.delivered_log()[1];
     assert!(
         d1.circuit_at < d0.delivered_at || d0.circuit_at < d1.delivered_at,
         "circuits should overlap: {d0:?} {d1:?}"
@@ -97,7 +97,7 @@ fn without_compaction_top_bus_serialises_overlapping_requests() {
     without.submit(msg(0, 8, 64)).unwrap();
     without.submit(msg(1, 7, 64)).unwrap();
     let r_without = without.run_to_quiescence(10_000);
-    assert_eq!(r_without.delivered.len(), 2);
+    assert_eq!(r_without.delivered, 2);
     assert_eq!(r_without.compaction_moves, 0);
 
     let mut with = net(12, 3);
@@ -122,10 +122,10 @@ fn destination_busy_triggers_nack_and_retry() {
     net.submit(msg(0, 4, 40)).unwrap();
     net.submit(msg(2, 4, 4)).unwrap();
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
     assert!(report.refusals >= 1, "one of the requests must be Nacked");
     // Whichever message lost the receive-port race carries the refusals.
-    let total_refusals: u32 = report.delivered.iter().map(|d| d.refusals).sum();
+    let total_refusals: u32 = net.delivered_log().iter().map(|d| d.refusals).sum();
     assert!(total_refusals >= 1);
 }
 
@@ -151,7 +151,7 @@ fn top_bus_busy_buffers_header_at_node() {
     net.submit(msg(0, 3, 8)).unwrap();
     net.submit(msg(0, 3, 8)).unwrap();
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
     assert_eq!(report.compaction_moves, 0, "k=1 has nowhere to compact");
 }
 
@@ -172,7 +172,7 @@ fn single_send_limit_respected() {
     }
     assert_eq!(max_seen, 1, "paper's base design: one send per PE");
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 3);
+    assert_eq!(report.delivered, 3);
 }
 
 #[test]
@@ -197,7 +197,7 @@ fn multi_send_extension_allows_parallel_sends() {
     }
     assert_eq!(max_seen, 2, "future-work extension: two concurrent sends");
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
 }
 
 #[test]
@@ -212,9 +212,9 @@ fn per_flit_ack_mode_slows_but_delivers() {
     let fast = run(AckMode::Unlimited);
     let windowed = run(AckMode::Windowed { window: 4 });
     let slow = run(AckMode::PerFlit);
-    assert_eq!(fast.delivered.len(), 1);
-    assert_eq!(windowed.delivered.len(), 1);
-    assert_eq!(slow.delivered.len(), 1);
+    assert_eq!(fast.delivered, 1);
+    assert_eq!(windowed.delivered, 1);
+    assert_eq!(slow.delivered, 1);
     // Stop-and-wait over a 4-hop circuit costs ~2L per flit.
     assert!(slow.makespan() > windowed.makespan());
     assert!(windowed.makespan() > fast.makespan());
@@ -232,7 +232,7 @@ fn any_free_bus_ablation_delivers() {
         net.submit(msg(s, s + 5, 16)).unwrap();
     }
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 5);
+    assert_eq!(report.delivered, 5);
 }
 
 #[test]
@@ -289,7 +289,7 @@ fn compaction_makes_room_for_k_circuits_on_shared_hop() {
         .virtual_buses()
         .all(|b| matches!(b.state, BusState::Streaming(_))));
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 3);
+    assert_eq!(report.delivered, 3);
 }
 
 #[test]
@@ -307,8 +307,8 @@ fn handshake_mode_uniform_clocks_delivers_same_messages() {
     hs.submit_all(workload).unwrap();
     let r_hs = hs.run_to_quiescence(100_000);
 
-    assert_eq!(r_sync.delivered.len(), 6);
-    assert_eq!(r_hs.delivered.len(), 6);
+    assert_eq!(r_sync.delivered, 6);
+    assert_eq!(r_hs.delivered, 6);
     assert!(hs.max_cycle_skew().unwrap() <= 1, "Lemma 1");
 }
 
@@ -322,7 +322,7 @@ fn handshake_mode_with_skewed_clocks_obeys_lemma1_and_delivers() {
         hs.submit(msg(s, s + 5, 32)).unwrap();
     }
     let report = hs.run_to_quiescence(200_000);
-    assert_eq!(report.delivered.len(), 5);
+    assert_eq!(report.delivered, 5);
     assert!(hs.max_cycle_skew().unwrap() <= 1, "Lemma 1 under skew");
     let transitions = hs.cycle_transitions().unwrap();
     assert!(transitions.iter().all(|&t| t > 0), "all INCs made progress");
@@ -357,9 +357,9 @@ fn delayed_injection_waits_for_its_tick() {
     net.run(50);
     assert_eq!(net.active_virtual_buses(), 0, "not yet injected");
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 1);
-    assert!(report.delivered[0].requested_at == 50);
-    assert!(report.delivered[0].delivered_at > 50);
+    assert_eq!(report.delivered, 1);
+    assert!(net.delivered_log()[0].requested_at == 50);
+    assert!(net.delivered_log()[0].delivered_at > 50);
 }
 
 #[test]
@@ -376,7 +376,7 @@ fn saturated_ring_without_timeout_reaches_circular_wait() {
     }
     let report = net.run_to_quiescence(1_000_000);
     assert!(report.stalled, "expected circular wait under saturation");
-    assert_eq!(report.delivered.len(), 0);
+    assert_eq!(report.delivered, 0);
 }
 
 #[test]
@@ -396,7 +396,7 @@ fn saturation_with_head_timeout_eventually_drains() {
     }
     let report = net.run_to_quiescence(1_000_000);
     assert_eq!(
-        report.delivered.len(),
+        report.delivered,
         n as usize,
         "stalled={} refusals={}",
         report.stalled,
@@ -416,7 +416,7 @@ fn moderate_load_drains_without_timeout() {
         net.submit(msg(s, (s + n / 2) % n, 8).at(s as u64 * 40)).unwrap();
     }
     let report = net.run_to_quiescence(1_000_000);
-    assert_eq!(report.delivered.len(), n as usize, "stalled={}", report.stalled);
+    assert_eq!(report.delivered, n as usize, "stalled={}", report.stalled);
     assert!(!report.stalled);
 }
 
@@ -443,7 +443,7 @@ fn random_workload_keeps_invariants_and_drains() {
         net.submit(msg(src, dst, flits).at(i * 12)).unwrap();
     }
     let report = net.run_to_quiescence(2_000_000);
-    assert_eq!(report.delivered.len(), 150, "stalled={}", report.stalled);
+    assert_eq!(report.delivered, 150, "stalled={}", report.stalled);
     assert_eq!(net.busy_segments(), 0);
     net.check_invariants().unwrap();
 }
@@ -475,7 +475,7 @@ fn report_metrics_are_consistent() {
     net.submit(msg(0, 5, 10)).unwrap();
     net.submit(msg(5, 0, 10)).unwrap();
     let report = net.run_to_quiescence(10_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
     assert_eq!(report.undelivered, 0);
     assert!(report.mean_latency() > 0.0);
     assert!(report.mean_setup_latency() > 0.0);

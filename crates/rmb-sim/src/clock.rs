@@ -1,6 +1,5 @@
 //! The simulation clock.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -18,7 +17,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t - Tick::new(10), 5);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Tick(u64);
 

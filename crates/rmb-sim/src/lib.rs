@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod par;
 mod queue;
 mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use clock::Tick;
+pub use par::{par_map, par_map_with};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -1,12 +1,9 @@
 //! Seeded, splittable randomness.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
 /// A deterministic random stream for simulations.
 ///
-/// Wraps `ChaCha8Rng` (stable across platforms and crate versions, unlike
-/// `StdRng`) and adds *stream splitting*: `fork(label)` derives an
+/// Self-contained ChaCha8 generator (stable across platforms and
+/// toolchains) with *stream splitting*: `fork(label)` derives an
 /// independent child stream, so that, for example, the arrival process and
 /// the clock-jitter process of an experiment can be perturbed independently
 /// without disturbing one another.
@@ -15,26 +12,104 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// ```
 /// use rmb_sim::SimRng;
-/// use rand::Rng;
 ///
 /// let mut a = SimRng::seed(42);
 /// let mut b = SimRng::seed(42);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 ///
 /// let mut child = a.fork("arrivals");
-/// let _ = child.gen::<u64>(); // independent of `a`'s own stream
+/// let _ = child.next_u64(); // independent of `a`'s own stream
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    /// ChaCha state: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 = exhausted.
+    cursor: usize,
 }
+
+const CHACHA_ROUNDS: usize = 8;
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+        // Expand the seed into a 256-bit key with splitmix64: distinct
+        // seeds give uncorrelated keys.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..4 {
+            let w = next();
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
         }
+        // Counter and nonce start at zero.
+        SimRng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (i, b) in self.block.iter_mut().enumerate() {
+            *b = x[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+
+    /// Next word of the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    /// Next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Uniform double in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child stream named by `label`.
@@ -43,8 +118,21 @@ impl SimRng {
     /// label, so distinct labels yield distinct streams and the same label
     /// drawn at the same point yields the same stream.
     pub fn fork(&mut self, label: &str) -> SimRng {
-        let word = self.inner.next_u64();
+        let word = self.next_u64();
         SimRng::seed(word ^ fnv1a(label.as_bytes()))
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero. Unbiased via bitmask
+    /// rejection.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mask = u64::MAX >> (n - 1).leading_zeros().min(63);
+        loop {
+            let v = self.next_u64() & mask;
+            if v < n {
+                return v;
+            }
+        }
     }
 
     /// Chooses an index uniformly in `0..len`. Returns `None` when
@@ -53,7 +141,7 @@ impl SimRng {
         if len == 0 {
             None
         } else {
-            Some(self.inner.gen_range(0..len))
+            Some(self.below(len as u64) as usize)
         }
     }
 
@@ -61,7 +149,15 @@ impl SimRng {
     /// `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        self.next_f64() < p || p >= 1.0
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
     }
 
     /// Draws a geometric inter-arrival gap with success probability `p`
@@ -74,9 +170,20 @@ impl SimRng {
         if p <= 0.0 {
             return u64::MAX;
         }
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = f64::EPSILON + self.next_f64() * (1.0 - f64::EPSILON);
         (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
     }
+}
+
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -86,21 +193,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
 }
 
 #[cfg(test)]
@@ -114,6 +206,14 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(8);
+        let same = (0..16).all(|_| a.next_u64() == b.next_u64());
+        assert!(!same);
     }
 
     #[test]
@@ -155,6 +255,30 @@ mod tests {
     }
 
     #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::seed(5);
+        for _ in 0..1000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // And deterministic per seed.
+        let mut r2 = SimRng::seed(13);
+        let mut v2: Vec<u32> = (0..50).collect();
+        r2.shuffle(&mut v2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
     fn geometric_gap_properties() {
         let mut r = SimRng::seed(3);
         assert_eq!(r.geometric_gap(1.5), 1);
@@ -162,5 +286,14 @@ mod tests {
         let mean: f64 = (0..2000).map(|_| r.geometric_gap(0.25) as f64).sum::<f64>() / 2000.0;
         // Geometric with p = 0.25 has mean 4.
         assert!((mean - 4.0).abs() < 0.5, "mean {mean} too far from 4");
+    }
+
+    #[test]
+    fn chacha_stream_spreads_bits() {
+        // Cheap sanity: over 64k bits, ones fraction is near one half.
+        let mut r = SimRng::seed(99);
+        let ones: u32 = (0..1024).map(|_| r.next_u64().count_ones()).sum();
+        let frac = f64::from(ones) / (1024.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.02, "ones fraction {frac}");
     }
 }

@@ -3,7 +3,6 @@
 //!
 //! Every number reported in EXPERIMENTS.md flows through these types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A monotonically increasing event counter.
@@ -17,7 +16,7 @@ use std::fmt;
 /// c.incr();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -58,7 +57,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(s.min(), Some(2.0));
 /// assert_eq!(s.max(), Some(6.0));
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -74,6 +73,25 @@ impl OnlineStats {
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Records the same sample `repeats` times in one step (Chan et al.'s
+    /// batch merge), used by the simulator's idle-tick fast-forward to
+    /// account for skipped ticks without looping. Equivalent to calling
+    /// [`record`](Self::record) `repeats` times, up to floating-point
+    /// rounding in the running mean/variance.
+    pub fn record_repeated(&mut self, x: f64, repeats: u64) {
+        if repeats == 0 {
+            return;
+        }
+        let delta = x - self.mean;
+        let total = self.count + repeats;
+        self.mean += delta * repeats as f64 / total as f64;
+        // The batch of identical samples has zero internal variance.
+        self.m2 += delta * delta * self.count as f64 * repeats as f64 / total as f64;
+        self.count = total;
         self.min = Some(self.min.map_or(x, |m| m.min(x)));
         self.max = Some(self.max.map_or(x, |m| m.max(x)));
     }
@@ -168,7 +186,7 @@ impl fmt::Display for OnlineStats {
 /// assert_eq!(h.overflow(), 1);
 /// assert_eq!(h.total(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bin_width: u64,
     bins: Vec<u64>,
@@ -273,7 +291,7 @@ impl Histogram {
 /// }
 /// assert_eq!(ts.samples().len(), 10);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     stride: u64,
     samples: Vec<(u64, f64)>,

@@ -5,14 +5,13 @@
 //! extension, compaction moves, acknowledgements, teardown).
 
 use crate::clock::Tick;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One traced protocol event.
 ///
 /// Field meanings follow the paper's vocabulary: `node` is an INC position,
 /// `bus` a physical segment index, `id` a request or virtual-bus number.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub at: Tick,
@@ -29,7 +28,7 @@ pub struct TraceEvent {
 }
 
 /// Categories of traced events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum TraceKind {
     /// A header flit was inserted at the top bus of its source INC.

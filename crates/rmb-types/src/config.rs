@@ -2,7 +2,6 @@
 
 use crate::error::ConfigError;
 use crate::ids::{BusIndex, RingSize};
-use serde::{Deserialize, Serialize};
 
 /// Where new header flits may be inserted into the multiple bus system.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// during circuit establishment is avoided. `AnyFreeBus` is an *ablation*
 /// mode used to measure what that restriction costs and buys; it is not part
 /// of the paper's design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InsertionPolicy {
     /// Paper behaviour: new requests enter only at bus segment `k - 1`.
     #[default]
@@ -28,7 +27,7 @@ pub enum InsertionPolicy {
 /// caps the number of unacknowledged data flits in flight; `PerFlit` is the
 /// degenerate window of 1; `Unlimited` streams at wire speed and uses Dacks
 /// only for accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(Default)]
 pub enum AckMode {
     /// One outstanding data flit at a time (stop-and-wait).
@@ -45,7 +44,7 @@ pub enum AckMode {
 
 
 /// Per-node behavioural limits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeConfig {
     /// How many sends a PE may have in flight at once. The paper's base
     /// design and the Theorem 1 argument assume 1; values above 1 model the
@@ -80,7 +79,7 @@ impl Default for NodeConfig {
 /// assert_eq!(cfg.buses(), 8);
 /// # Ok::<(), rmb_types::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RmbConfig {
     nodes: RingSize,
     buses: u16,

@@ -8,7 +8,6 @@
 //! `Nack`.
 
 use crate::ids::{NodeId, RequestId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Payload word carried by a data flit.
@@ -16,7 +15,7 @@ use std::fmt;
 /// The paper leaves flit width as an implementation parameter; we model a
 /// flit payload as a 64-bit word, which is wide enough to carry the test
 /// patterns used by the integrity checks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FlitPayload(pub u64);
 
 impl fmt::Display for FlitPayload {
@@ -35,7 +34,7 @@ impl fmt::Display for FlitPayload {
 /// assert_eq!(hf.kind(), FlitKind::Header);
 /// assert_eq!(hf.request(), RequestId::new(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Flit {
     /// Header flit (HF): carries the destination address and draws the
     /// virtual bus behind it as it advances.
@@ -125,7 +124,7 @@ impl fmt::Display for Flit {
 }
 
 /// Flit discriminants: header, data, final.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
     /// Header flit.
     Header,
@@ -157,7 +156,7 @@ impl fmt::Display for FlitKind {
 ///   connection.
 /// * `Nack` — negative acknowledgement; refuses a request and releases the
 ///   virtual bus associated with it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ack {
     /// Header acknowledgement.
     Hack {
@@ -223,7 +222,7 @@ impl fmt::Display for Ack {
 }
 
 /// Acknowledgement discriminants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AckKind {
     /// Header acknowledgement.
     Hack,

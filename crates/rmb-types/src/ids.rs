@@ -1,6 +1,5 @@
 //! Identifier newtypes for nodes, buses, requests and virtual buses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a node (a PE + INC pair) on the ring, numbered `0..N`.
@@ -16,7 +15,7 @@ use std::fmt;
 /// assert_eq!(n.index(), 3);
 /// assert_eq!(format!("{n}"), "n3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -73,7 +72,7 @@ impl From<u32> for NodeId {
 /// assert_eq!(BusIndex::new(0).lower(), None);
 /// assert!(b.is_even());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BusIndex(u16);
 
 impl BusIndex {
@@ -151,7 +150,7 @@ impl From<u16> for BusIndex {
 /// assert_eq!(ring.predecessor(NodeId::new(0)), NodeId::new(7));
 /// assert_eq!(ring.clockwise_distance(NodeId::new(6), NodeId::new(2)), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RingSize(u32);
 
 impl RingSize {
@@ -218,7 +217,7 @@ impl fmt::Display for RingSize {
 /// A request is born when a PE asks its INC for a connection, and dies when
 /// the final-flit acknowledgement (`Fack`) has removed its virtual bus, or
 /// when a `Nack` refused it (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(u64);
 
 impl RequestId {
@@ -246,7 +245,7 @@ impl fmt::Display for RequestId {
 /// laid over them: during the lifetime of a communication, the virtual bus
 /// "may be moved down to other buses" by compaction, which is the reason for
 /// calling the channel a virtual bus (§2.2, Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtualBusId(u64);
 
 impl VirtualBusId {
@@ -329,12 +328,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
+        use crate::json::{FromJson, ToJson};
         let n = NodeId::new(9);
-        let s = serde_json::to_string(&n).unwrap();
-        assert_eq!(serde_json::from_str::<NodeId>(&s).unwrap(), n);
+        assert_eq!(NodeId::from_json(&n.to_json()).unwrap(), n);
         let b = BusIndex::new(2);
-        let s = serde_json::to_string(&b).unwrap();
-        assert_eq!(serde_json::from_str::<BusIndex>(&s).unwrap(), b);
+        assert_eq!(BusIndex::from_json(&b.to_json()).unwrap(), b);
     }
 }

@@ -28,6 +28,7 @@ mod config;
 mod error;
 mod flit;
 mod ids;
+pub mod json;
 mod message;
 
 pub use config::{AckMode, InsertionPolicy, NodeConfig, RmbConfig, RmbConfigBuilder};

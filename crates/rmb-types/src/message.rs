@@ -1,7 +1,6 @@
 //! Message descriptors used by workloads and simulators.
 
 use crate::ids::{NodeId, RequestId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A message a PE wants to send: the unit of work fed to every simulator in
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(m.data_flits, 16);
 /// assert_eq!(m.inject_at, 100);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MessageSpec {
     /// Originating node.
     pub source: NodeId,
@@ -62,7 +61,7 @@ impl fmt::Display for MessageSpec {
 }
 
 /// Terminal status of a request inside a simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageStatus {
     /// Waiting for injection (top output port busy, or PE send slot busy).
     Pending,
@@ -90,7 +89,7 @@ impl fmt::Display for MessageStatus {
 }
 
 /// Completion record for a delivered message, as reported by a simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeliveredMessage {
     /// The request that carried the message.
     pub request: RequestId,

@@ -5,14 +5,12 @@
 //! perfect shuffle and butterfly, plus the hardest case for a one-way ring
 //! (every node sends to the diametrically opposite node).
 
-use rand::seq::SliceRandom;
 use rmb_sim::SimRng;
 use rmb_types::{MessageSpec, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named permutation family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum PermutationKind {
     /// `π(i)` drawn uniformly from all permutations.
@@ -86,7 +84,7 @@ impl fmt::Display for PermutationKind {
 /// Fixed points (`π(i) = i`) produce no message — a node does not send to
 /// itself — so [`messages`](Self::messages) may return fewer than `N`
 /// specs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Permutation {
     kind: PermutationKind,
     map: Vec<u32>,
@@ -109,7 +107,7 @@ impl Permutation {
         let map: Vec<u32> = match kind {
             PermutationKind::Random => {
                 let mut v: Vec<u32> = (0..n).collect();
-                v.shuffle(rng);
+                rng.shuffle(&mut v);
                 v
             }
             PermutationKind::Rotation(d) => (0..n).map(|i| (i + d) % n).collect(),

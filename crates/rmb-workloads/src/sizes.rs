@@ -1,11 +1,10 @@
 //! Message-size (data-flit count) distributions.
 
 use rmb_sim::SimRng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How many data flits a generated message carries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeDistribution {
     /// Every message has exactly this many data flits.
     Fixed(u32),

@@ -5,10 +5,9 @@ use crate::permutation::{Permutation, PermutationKind};
 use crate::sizes::SizeDistribution;
 use rmb_sim::SimRng;
 use rmb_types::MessageSpec;
-use serde::{Deserialize, Serialize};
 
 /// A complete, reproducible workload description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
     /// Ring / network size.
     pub nodes: u32,

@@ -37,14 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut t = Table::new(vec!["destination", "multicast arrival", "unicast arrival"]);
     for d in &destinations {
-        let at = |r: &rmb::core::RunReport| {
-            r.delivered
-                .iter()
+        let at = |log: &[rmb::types::DeliveredMessage]| {
+            log.iter()
                 .find(|m| m.spec.destination == *d)
                 .map(|m| m.delivered_at.to_string())
                 .unwrap_or_default()
         };
-        t.row(vec![d.to_string(), at(&mc_report), at(&uc_report)]);
+        t.row(vec![d.to_string(), at(mc.delivered_log()), at(uc.delivered_log())]);
     }
     println!("{t}");
     println!(

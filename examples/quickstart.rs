@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", render_occupancy(&net));
 
     let report = net.run_to_quiescence(10_000);
-    let d = &report.delivered[0];
+    let d = &net.delivered_log()[0];
     println!("delivered: {}", d.spec);
     println!("  circuit established at t = {}", d.circuit_at);
     println!("  final flit arrived at  t = {}", d.delivered_at);

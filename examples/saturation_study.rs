@@ -40,10 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut net = RmbNetwork::new(cfg);
         net.submit_all(msgs.iter().copied())?;
         let report = net.run_to_quiescence(window * 50);
-        let hist = report.latency_histogram(256);
+        let hist = net.latency_histogram(256);
         table.row(vec![
             format!("{rate:.4}"),
-            format!("{}/{}", report.delivered.len(), msgs.len()),
+            format!("{}/{}", report.delivered, msgs.len()),
             format!("{:.1}", report.mean_latency()),
             match hist.quantile(0.99) {
                 Some(u64::MAX) => "beyond histogram".into(),

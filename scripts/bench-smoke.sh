@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Quick performance smoke: release build, the two hot-path bench suites
+# with a short sampling window, and the perf lint gate. Intended as the
+# pre-merge check for changes touching rmb-core's tick path; full runs
+# use plain `cargo bench`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (perf lints as errors) =="
+cargo clippy --workspace --all-targets -- -D clippy::perf
+
+echo "== release build =="
+cargo build --release -p rmb-bench --benches
+
+echo "== rmb_protocol + cycle_machine (short window) =="
+CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench rmb_protocol
+CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench cycle_machine
+
+echo "bench smoke OK"

@@ -27,7 +27,7 @@
 //! let mut net = RmbNetwork::new(cfg);
 //! net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(3), 4))?;
 //! let report = net.run_to_quiescence(10_000);
-//! assert_eq!(report.delivered.len(), 1);
+//! assert_eq!(report.delivered, 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_models-87aae839946cc842.d: crates/rmb-bench/benches/analysis_models.rs
+
+/root/repo/target/debug/deps/analysis_models-87aae839946cc842: crates/rmb-bench/benches/analysis_models.rs
+
+crates/rmb-bench/benches/analysis_models.rs:

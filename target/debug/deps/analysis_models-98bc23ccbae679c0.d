@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_models-98bc23ccbae679c0.d: crates/rmb-bench/benches/analysis_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_models-98bc23ccbae679c0.rmeta: crates/rmb-bench/benches/analysis_models.rs Cargo.toml
+
+crates/rmb-bench/benches/analysis_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

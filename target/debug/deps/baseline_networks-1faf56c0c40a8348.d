@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_networks-1faf56c0c40a8348.d: crates/rmb-bench/benches/baseline_networks.rs
+
+/root/repo/target/debug/deps/baseline_networks-1faf56c0c40a8348: crates/rmb-bench/benches/baseline_networks.rs
+
+crates/rmb-bench/benches/baseline_networks.rs:

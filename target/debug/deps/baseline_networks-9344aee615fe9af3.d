@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_networks-9344aee615fe9af3.d: crates/rmb-bench/benches/baseline_networks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_networks-9344aee615fe9af3.rmeta: crates/rmb-bench/benches/baseline_networks.rs Cargo.toml
+
+crates/rmb-bench/benches/baseline_networks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

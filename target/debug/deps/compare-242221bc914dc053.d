@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare-242221bc914dc053.d: crates/rmb-bench/src/bin/compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare-242221bc914dc053.rmeta: crates/rmb-bench/src/bin/compare.rs Cargo.toml
+
+crates/rmb-bench/src/bin/compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare-8b3d52203740abfb.d: crates/rmb-bench/src/bin/compare.rs
+
+/root/repo/target/debug/deps/compare-8b3d52203740abfb: crates/rmb-bench/src/bin/compare.rs
+
+crates/rmb-bench/src/bin/compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare-ca10a4f04f55f412.d: crates/rmb-bench/src/bin/compare.rs
+
+/root/repo/target/debug/deps/compare-ca10a4f04f55f412: crates/rmb-bench/src/bin/compare.rs
+
+crates/rmb-bench/src/bin/compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-752c767699064874.d: crates/criterion-lite/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-752c767699064874: crates/criterion-lite/src/lib.rs
+
+crates/criterion-lite/src/lib.rs:

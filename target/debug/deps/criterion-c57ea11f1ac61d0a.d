@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c57ea11f1ac61d0a.d: crates/criterion-lite/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c57ea11f1ac61d0a.rlib: crates/criterion-lite/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c57ea11f1ac61d0a.rmeta: crates/criterion-lite/src/lib.rs
+
+crates/criterion-lite/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-dba9a48a9a10586e.d: crates/criterion-lite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-dba9a48a9a10586e.rmeta: crates/criterion-lite/src/lib.rs Cargo.toml
+
+crates/criterion-lite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-6dac9f424e88fb48.d: crates/rmb-core/tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-6dac9f424e88fb48: crates/rmb-core/tests/cross_validation.rs
+
+crates/rmb-core/tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-7859fddab5d74249.d: crates/rmb-core/tests/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-7859fddab5d74249.rmeta: crates/rmb-core/tests/cross_validation.rs Cargo.toml
+
+crates/rmb-core/tests/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

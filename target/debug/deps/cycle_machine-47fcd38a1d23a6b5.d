@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cycle_machine-47fcd38a1d23a6b5.d: crates/rmb-bench/benches/cycle_machine.rs
+
+/root/repo/target/debug/deps/cycle_machine-47fcd38a1d23a6b5: crates/rmb-bench/benches/cycle_machine.rs
+
+crates/rmb-bench/benches/cycle_machine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cycle_machine-d935bdc9fadbd686.d: crates/rmb-bench/benches/cycle_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcycle_machine-d935bdc9fadbd686.rmeta: crates/rmb-bench/benches/cycle_machine.rs Cargo.toml
+
+crates/rmb-bench/benches/cycle_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

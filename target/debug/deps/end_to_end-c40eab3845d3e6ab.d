@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c40eab3845d3e6ab.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c40eab3845d3e6ab: tests/end_to_end.rs
+
+tests/end_to_end.rs:

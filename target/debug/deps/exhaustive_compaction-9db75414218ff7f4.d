@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive_compaction-9db75414218ff7f4.d: crates/rmb-async/tests/exhaustive_compaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive_compaction-9db75414218ff7f4.rmeta: crates/rmb-async/tests/exhaustive_compaction.rs Cargo.toml
+
+crates/rmb-async/tests/exhaustive_compaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

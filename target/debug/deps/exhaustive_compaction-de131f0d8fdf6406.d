@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive_compaction-de131f0d8fdf6406.d: crates/rmb-async/tests/exhaustive_compaction.rs
+
+/root/repo/target/debug/deps/exhaustive_compaction-de131f0d8fdf6406: crates/rmb-async/tests/exhaustive_compaction.rs
+
+crates/rmb-async/tests/exhaustive_compaction.rs:

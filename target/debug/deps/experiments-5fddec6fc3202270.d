@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5fddec6fc3202270.d: crates/rmb-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5fddec6fc3202270: crates/rmb-bench/src/bin/experiments.rs
+
+crates/rmb-bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-acc32879e49222a4.d: crates/rmb-bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-acc32879e49222a4.rmeta: crates/rmb-bench/src/bin/experiments.rs Cargo.toml
+
+crates/rmb-bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

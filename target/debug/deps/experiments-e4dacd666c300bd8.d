@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e4dacd666c300bd8.d: crates/rmb-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e4dacd666c300bd8: crates/rmb-bench/src/bin/experiments.rs
+
+crates/rmb-bench/src/bin/experiments.rs:

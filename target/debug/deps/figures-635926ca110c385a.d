@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-635926ca110c385a.d: crates/rmb-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-635926ca110c385a: crates/rmb-bench/src/bin/figures.rs
+
+crates/rmb-bench/src/bin/figures.rs:

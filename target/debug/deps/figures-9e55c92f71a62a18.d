@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9e55c92f71a62a18.d: crates/rmb-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9e55c92f71a62a18: crates/rmb-bench/src/bin/figures.rs
+
+crates/rmb-bench/src/bin/figures.rs:

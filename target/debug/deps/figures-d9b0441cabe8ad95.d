@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-d9b0441cabe8ad95.d: crates/rmb-bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-d9b0441cabe8ad95.rmeta: crates/rmb-bench/src/bin/figures.rs Cargo.toml
+
+crates/rmb-bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/json_properties-677ffeff2e8ad747.d: crates/rmb-types/tests/json_properties.rs
+
+/root/repo/target/debug/deps/json_properties-677ffeff2e8ad747: crates/rmb-types/tests/json_properties.rs
+
+crates/rmb-types/tests/json_properties.rs:

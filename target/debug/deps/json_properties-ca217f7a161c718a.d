@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/json_properties-ca217f7a161c718a.d: crates/rmb-types/tests/json_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjson_properties-ca217f7a161c718a.rmeta: crates/rmb-types/tests/json_properties.rs Cargo.toml
+
+crates/rmb-types/tests/json_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_check-5bfe7d7ac0641db6.d: crates/rmb-core/tests/model_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_check-5bfe7d7ac0641db6.rmeta: crates/rmb-core/tests/model_check.rs Cargo.toml
+
+crates/rmb-core/tests/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

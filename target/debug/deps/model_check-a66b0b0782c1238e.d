@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-a66b0b0782c1238e.d: crates/rmb-core/tests/model_check.rs
+
+/root/repo/target/debug/deps/model_check-a66b0b0782c1238e: crates/rmb-core/tests/model_check.rs
+
+crates/rmb-core/tests/model_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multicast-7b286252d3eb12b2.d: crates/rmb-core/tests/multicast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulticast-7b286252d3eb12b2.rmeta: crates/rmb-core/tests/multicast.rs Cargo.toml
+
+crates/rmb-core/tests/multicast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicast-97b5f170a2522cff.d: crates/rmb-core/tests/multicast.rs
+
+/root/repo/target/debug/deps/multicast-97b5f170a2522cff: crates/rmb-core/tests/multicast.rs
+
+crates/rmb-core/tests/multicast.rs:

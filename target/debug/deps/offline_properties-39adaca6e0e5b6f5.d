@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offline_properties-39adaca6e0e5b6f5.d: crates/rmb-analysis/tests/offline_properties.rs
+
+/root/repo/target/debug/deps/offline_properties-39adaca6e0e5b6f5: crates/rmb-analysis/tests/offline_properties.rs
+
+crates/rmb-analysis/tests/offline_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_properties-95183066c69ecfb7.d: crates/rmb-analysis/tests/offline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_properties-95183066c69ecfb7.rmeta: crates/rmb-analysis/tests/offline_properties.rs Cargo.toml
+
+crates/rmb-analysis/tests/offline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

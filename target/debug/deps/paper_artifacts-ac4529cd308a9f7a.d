@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_artifacts-ac4529cd308a9f7a.d: tests/paper_artifacts.rs
+
+/root/repo/target/debug/deps/paper_artifacts-ac4529cd308a9f7a: tests/paper_artifacts.rs
+
+tests/paper_artifacts.rs:

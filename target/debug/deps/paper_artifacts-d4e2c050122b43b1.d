@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_artifacts-d4e2c050122b43b1.d: tests/paper_artifacts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_artifacts-d4e2c050122b43b1.rmeta: tests/paper_artifacts.rs Cargo.toml
+
+tests/paper_artifacts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

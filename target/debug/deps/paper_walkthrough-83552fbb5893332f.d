@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_walkthrough-83552fbb5893332f.d: tests/paper_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_walkthrough-83552fbb5893332f.rmeta: tests/paper_walkthrough.rs Cargo.toml
+
+tests/paper_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

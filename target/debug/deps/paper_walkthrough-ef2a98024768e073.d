@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthrough-ef2a98024768e073.d: tests/paper_walkthrough.rs
+
+/root/repo/target/debug/deps/paper_walkthrough-ef2a98024768e073: tests/paper_walkthrough.rs
+
+tests/paper_walkthrough.rs:

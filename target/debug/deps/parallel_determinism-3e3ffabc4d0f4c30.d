@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-3e3ffabc4d0f4c30.d: crates/rmb-bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-3e3ffabc4d0f4c30: crates/rmb-bench/tests/parallel_determinism.rs
+
+crates/rmb-bench/tests/parallel_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-8b135e0735f06540.d: crates/rmb-bench/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-8b135e0735f06540.rmeta: crates/rmb-bench/tests/parallel_determinism.rs Cargo.toml
+
+crates/rmb-bench/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a0ae94ed57799cb7.d: crates/rmb-baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a0ae94ed57799cb7: crates/rmb-baselines/tests/properties.rs
+
+crates/rmb-baselines/tests/properties.rs:

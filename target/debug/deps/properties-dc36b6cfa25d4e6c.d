@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-dc36b6cfa25d4e6c.d: crates/rmb-core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-dc36b6cfa25d4e6c.rmeta: crates/rmb-core/tests/properties.rs Cargo.toml
+
+crates/rmb-core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e2002f167261029c.d: crates/rmb-core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e2002f167261029c: crates/rmb-core/tests/properties.rs
+
+crates/rmb-core/tests/properties.rs:

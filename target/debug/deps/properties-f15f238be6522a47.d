@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f15f238be6522a47.d: crates/rmb-baselines/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f15f238be6522a47.rmeta: crates/rmb-baselines/tests/properties.rs Cargo.toml
+
+crates/rmb-baselines/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

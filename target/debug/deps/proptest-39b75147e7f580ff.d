@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-39b75147e7f580ff.d: crates/proptest-lite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-39b75147e7f580ff.rmeta: crates/proptest-lite/src/lib.rs Cargo.toml
+
+crates/proptest-lite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

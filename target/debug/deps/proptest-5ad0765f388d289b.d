@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-5ad0765f388d289b.d: crates/proptest-lite/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5ad0765f388d289b.rlib: crates/proptest-lite/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5ad0765f388d289b.rmeta: crates/proptest-lite/src/lib.rs
+
+crates/proptest-lite/src/lib.rs:

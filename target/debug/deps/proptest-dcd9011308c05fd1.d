@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-dcd9011308c05fd1.d: crates/proptest-lite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-dcd9011308c05fd1.rmeta: crates/proptest-lite/src/lib.rs Cargo.toml
+
+crates/proptest-lite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e4f949b24d995b5f.d: crates/proptest-lite/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e4f949b24d995b5f: crates/proptest-lite/src/lib.rs
+
+crates/proptest-lite/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-5598ed3cd139c2db.d: crates/rmb-core/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-5598ed3cd139c2db: crates/rmb-core/tests/protocol.rs
+
+crates/rmb-core/tests/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-d954589317511b44.d: crates/rmb-core/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-d954589317511b44.rmeta: crates/rmb-core/tests/protocol.rs Cargo.toml
+
+crates/rmb-core/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

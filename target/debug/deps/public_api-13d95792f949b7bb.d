@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/public_api-13d95792f949b7bb.d: tests/public_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpublic_api-13d95792f949b7bb.rmeta: tests/public_api.rs Cargo.toml
+
+tests/public_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/public_api-a14783ca041b0bfc.d: tests/public_api.rs
+
+/root/repo/target/debug/deps/public_api-a14783ca041b0bfc: tests/public_api.rs
+
+tests/public_api.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rmb-1b619ecff64f3ba8.d: src/lib.rs
+
+/root/repo/target/debug/deps/librmb-1b619ecff64f3ba8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librmb-1b619ecff64f3ba8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmb-51cfb0428c5337e0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb-51cfb0428c5337e0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

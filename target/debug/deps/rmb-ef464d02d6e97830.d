@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rmb-ef464d02d6e97830.d: src/lib.rs
+
+/root/repo/target/debug/deps/rmb-ef464d02d6e97830: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmb-f79db69ebdcd0e1c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb-f79db69ebdcd0e1c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rmb_analysis-74b3ff487e7d0a59.d: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs
+
+/root/repo/target/debug/deps/librmb_analysis-74b3ff487e7d0a59.rlib: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs
+
+/root/repo/target/debug/deps/librmb_analysis-74b3ff487e7d0a59.rmeta: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs
+
+crates/rmb-analysis/src/lib.rs:
+crates/rmb-analysis/src/cost.rs:
+crates/rmb-analysis/src/dual_ring.rs:
+crates/rmb-analysis/src/grid.rs:
+crates/rmb-analysis/src/lattice.rs:
+crates/rmb-analysis/src/model.rs:
+crates/rmb-analysis/src/offline.rs:
+crates/rmb-analysis/src/rmb_adapter.rs:
+crates/rmb-analysis/src/report.rs:
+crates/rmb-analysis/src/structural.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rmb_analysis-b8a59137e023d910.d: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_analysis-b8a59137e023d910.rmeta: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs Cargo.toml
+
+crates/rmb-analysis/src/lib.rs:
+crates/rmb-analysis/src/cost.rs:
+crates/rmb-analysis/src/dual_ring.rs:
+crates/rmb-analysis/src/grid.rs:
+crates/rmb-analysis/src/lattice.rs:
+crates/rmb-analysis/src/model.rs:
+crates/rmb-analysis/src/offline.rs:
+crates/rmb-analysis/src/rmb_adapter.rs:
+crates/rmb-analysis/src/report.rs:
+crates/rmb-analysis/src/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

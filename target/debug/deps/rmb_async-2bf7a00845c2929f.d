@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmb_async-2bf7a00845c2929f.d: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_async-2bf7a00845c2929f.rmeta: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs Cargo.toml
+
+crates/rmb-async/src/lib.rs:
+crates/rmb-async/src/compactor.rs:
+crates/rmb-async/src/cycle_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmb_async-84b68ea4663e5038.d: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_async-84b68ea4663e5038.rmeta: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs Cargo.toml
+
+crates/rmb-async/src/lib.rs:
+crates/rmb-async/src/compactor.rs:
+crates/rmb-async/src/cycle_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

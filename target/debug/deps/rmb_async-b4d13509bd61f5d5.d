@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmb_async-b4d13509bd61f5d5.d: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+/root/repo/target/debug/deps/librmb_async-b4d13509bd61f5d5.rlib: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+/root/repo/target/debug/deps/librmb_async-b4d13509bd61f5d5.rmeta: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+crates/rmb-async/src/lib.rs:
+crates/rmb-async/src/compactor.rs:
+crates/rmb-async/src/cycle_ring.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rmb_async-d751fad625048d02.d: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+/root/repo/target/debug/deps/rmb_async-d751fad625048d02: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+crates/rmb-async/src/lib.rs:
+crates/rmb-async/src/compactor.rs:
+crates/rmb-async/src/cycle_ring.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rmb_baselines-4c30b363e2849818.d: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_baselines-4c30b363e2849818.rmeta: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs Cargo.toml
+
+crates/rmb-baselines/src/lib.rs:
+crates/rmb-baselines/src/ehc.rs:
+crates/rmb-baselines/src/fattree.rs:
+crates/rmb-baselines/src/graph.rs:
+crates/rmb-baselines/src/hypercube.rs:
+crates/rmb-baselines/src/mesh.rs:
+crates/rmb-baselines/src/torus.rs:
+crates/rmb-baselines/src/traits.rs:
+crates/rmb-baselines/src/wormhole.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rmb_baselines-76f2502f3eb38143.d: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+/root/repo/target/debug/deps/rmb_baselines-76f2502f3eb38143: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+crates/rmb-baselines/src/lib.rs:
+crates/rmb-baselines/src/ehc.rs:
+crates/rmb-baselines/src/fattree.rs:
+crates/rmb-baselines/src/graph.rs:
+crates/rmb-baselines/src/hypercube.rs:
+crates/rmb-baselines/src/mesh.rs:
+crates/rmb-baselines/src/torus.rs:
+crates/rmb-baselines/src/traits.rs:
+crates/rmb-baselines/src/wormhole.rs:

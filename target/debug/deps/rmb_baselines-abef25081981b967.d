@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rmb_baselines-abef25081981b967.d: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+/root/repo/target/debug/deps/librmb_baselines-abef25081981b967.rlib: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+/root/repo/target/debug/deps/librmb_baselines-abef25081981b967.rmeta: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+crates/rmb-baselines/src/lib.rs:
+crates/rmb-baselines/src/ehc.rs:
+crates/rmb-baselines/src/fattree.rs:
+crates/rmb-baselines/src/graph.rs:
+crates/rmb-baselines/src/hypercube.rs:
+crates/rmb-baselines/src/mesh.rs:
+crates/rmb-baselines/src/torus.rs:
+crates/rmb-baselines/src/traits.rs:
+crates/rmb-baselines/src/wormhole.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rmb_core-f161c4ed7eb5f3d7.d: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_core-f161c4ed7eb5f3d7.rmeta: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs Cargo.toml
+
+crates/rmb-core/src/lib.rs:
+crates/rmb-core/src/compaction.rs:
+crates/rmb-core/src/cycle.rs:
+crates/rmb-core/src/inc.rs:
+crates/rmb-core/src/invariants.rs:
+crates/rmb-core/src/microsim.rs:
+crates/rmb-core/src/network.rs:
+crates/rmb-core/src/render.rs:
+crates/rmb-core/src/status.rs:
+crates/rmb-core/src/virtual_bus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

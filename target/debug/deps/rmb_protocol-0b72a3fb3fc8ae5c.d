@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rmb_protocol-0b72a3fb3fc8ae5c.d: crates/rmb-bench/benches/rmb_protocol.rs
+
+/root/repo/target/debug/deps/rmb_protocol-0b72a3fb3fc8ae5c: crates/rmb-bench/benches/rmb_protocol.rs
+
+crates/rmb-bench/benches/rmb_protocol.rs:

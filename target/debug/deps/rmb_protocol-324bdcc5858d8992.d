@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmb_protocol-324bdcc5858d8992.d: crates/rmb-bench/benches/rmb_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_protocol-324bdcc5858d8992.rmeta: crates/rmb-bench/benches/rmb_protocol.rs Cargo.toml
+
+crates/rmb-bench/benches/rmb_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rmb_sim-03f42d14f10ce5e4.d: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+/root/repo/target/debug/deps/librmb_sim-03f42d14f10ce5e4.rlib: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+/root/repo/target/debug/deps/librmb_sim-03f42d14f10ce5e4.rmeta: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+crates/rmb-sim/src/lib.rs:
+crates/rmb-sim/src/clock.rs:
+crates/rmb-sim/src/par.rs:
+crates/rmb-sim/src/queue.rs:
+crates/rmb-sim/src/rng.rs:
+crates/rmb-sim/src/stats.rs:
+crates/rmb-sim/src/trace.rs:

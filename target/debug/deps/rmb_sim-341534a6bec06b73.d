@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rmb_sim-341534a6bec06b73.d: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmb_sim-341534a6bec06b73.rmeta: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs Cargo.toml
+
+crates/rmb-sim/src/lib.rs:
+crates/rmb-sim/src/clock.rs:
+crates/rmb-sim/src/par.rs:
+crates/rmb-sim/src/queue.rs:
+crates/rmb-sim/src/rng.rs:
+crates/rmb-sim/src/stats.rs:
+crates/rmb-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

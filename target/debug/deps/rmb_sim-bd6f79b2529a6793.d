@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmb_sim-bd6f79b2529a6793.d: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+/root/repo/target/debug/deps/rmb_sim-bd6f79b2529a6793: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+crates/rmb-sim/src/lib.rs:
+crates/rmb-sim/src/clock.rs:
+crates/rmb-sim/src/par.rs:
+crates/rmb-sim/src/queue.rs:
+crates/rmb-sim/src/rng.rs:
+crates/rmb-sim/src/stats.rs:
+crates/rmb-sim/src/trace.rs:

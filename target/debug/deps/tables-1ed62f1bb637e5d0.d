@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-1ed62f1bb637e5d0.d: crates/rmb-bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-1ed62f1bb637e5d0.rmeta: crates/rmb-bench/src/bin/tables.rs Cargo.toml
+
+crates/rmb-bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-3c430ceca904a5a7.d: crates/rmb-bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-3c430ceca904a5a7: crates/rmb-bench/src/bin/tables.rs
+
+crates/rmb-bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-dd0a0a82e02e15a3.d: crates/rmb-bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-dd0a0a82e02e15a3: crates/rmb-bench/src/bin/tables.rs
+
+crates/rmb-bench/src/bin/tables.rs:

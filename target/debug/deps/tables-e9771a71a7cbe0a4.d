@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-e9771a71a7cbe0a4.d: crates/rmb-bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-e9771a71a7cbe0a4.rmeta: crates/rmb-bench/src/bin/tables.rs Cargo.toml
+
+crates/rmb-bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-479ec2febe6d6655.d: crates/rmb-core/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-479ec2febe6d6655: crates/rmb-core/tests/timing.rs
+
+crates/rmb-core/tests/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-a387cecda44ebb56.d: crates/rmb-core/tests/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-a387cecda44ebb56.rmeta: crates/rmb-core/tests/timing.rs Cargo.toml
+
+crates/rmb-core/tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

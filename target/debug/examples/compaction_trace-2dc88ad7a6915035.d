@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compaction_trace-2dc88ad7a6915035.d: examples/compaction_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompaction_trace-2dc88ad7a6915035.rmeta: examples/compaction_trace.rs Cargo.toml
+
+examples/compaction_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compaction_trace-a613f5dbda3efd3a.d: examples/compaction_trace.rs
+
+/root/repo/target/debug/examples/compaction_trace-a613f5dbda3efd3a: examples/compaction_trace.rs
+
+examples/compaction_trace.rs:

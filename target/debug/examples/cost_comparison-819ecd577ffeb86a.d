@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cost_comparison-819ecd577ffeb86a.d: examples/cost_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcost_comparison-819ecd577ffeb86a.rmeta: examples/cost_comparison.rs Cargo.toml
+
+examples/cost_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

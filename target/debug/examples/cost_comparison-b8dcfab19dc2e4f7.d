@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_comparison-b8dcfab19dc2e4f7.d: examples/cost_comparison.rs
+
+/root/repo/target/debug/examples/cost_comparison-b8dcfab19dc2e4f7: examples/cost_comparison.rs
+
+examples/cost_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multicast_demo-97996b0e0997e969.d: examples/multicast_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulticast_demo-97996b0e0997e969.rmeta: examples/multicast_demo.rs Cargo.toml
+
+examples/multicast_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

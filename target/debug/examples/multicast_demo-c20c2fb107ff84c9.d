@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multicast_demo-c20c2fb107ff84c9.d: examples/multicast_demo.rs
+
+/root/repo/target/debug/examples/multicast_demo-c20c2fb107ff84c9: examples/multicast_demo.rs
+
+examples/multicast_demo.rs:

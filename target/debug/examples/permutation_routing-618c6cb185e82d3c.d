@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/permutation_routing-618c6cb185e82d3c.d: examples/permutation_routing.rs
+
+/root/repo/target/debug/examples/permutation_routing-618c6cb185e82d3c: examples/permutation_routing.rs
+
+examples/permutation_routing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/permutation_routing-adaaa2d1e445ede1.d: examples/permutation_routing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpermutation_routing-adaaa2d1e445ede1.rmeta: examples/permutation_routing.rs Cargo.toml
+
+examples/permutation_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

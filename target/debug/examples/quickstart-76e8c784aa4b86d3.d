@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-76e8c784aa4b86d3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-76e8c784aa4b86d3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-8028bc6710b0bd7d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-8028bc6710b0bd7d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

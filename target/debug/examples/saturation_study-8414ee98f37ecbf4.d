@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/saturation_study-8414ee98f37ecbf4.d: examples/saturation_study.rs
+
+/root/repo/target/debug/examples/saturation_study-8414ee98f37ecbf4: examples/saturation_study.rs
+
+examples/saturation_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/saturation_study-f94d893c0a25a9d7.d: examples/saturation_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsaturation_study-f94d893c0a25a9d7.rmeta: examples/saturation_study.rs Cargo.toml
+
+examples/saturation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

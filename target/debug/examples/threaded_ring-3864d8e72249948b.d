@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_ring-3864d8e72249948b.d: examples/threaded_ring.rs
+
+/root/repo/target/debug/examples/threaded_ring-3864d8e72249948b: examples/threaded_ring.rs
+
+examples/threaded_ring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_ring-38a00c42c8982809.d: examples/threaded_ring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_ring-38a00c42c8982809.rmeta: examples/threaded_ring.rs Cargo.toml
+
+examples/threaded_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_models-841d84259948385e.d: crates/rmb-bench/benches/analysis_models.rs
+
+/root/repo/target/release/deps/analysis_models-841d84259948385e: crates/rmb-bench/benches/analysis_models.rs
+
+crates/rmb-bench/benches/analysis_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_networks-d97be58f76d09f52.d: crates/rmb-bench/benches/baseline_networks.rs
+
+/root/repo/target/release/deps/baseline_networks-d97be58f76d09f52: crates/rmb-bench/benches/baseline_networks.rs
+
+crates/rmb-bench/benches/baseline_networks.rs:

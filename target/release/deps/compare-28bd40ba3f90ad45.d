@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare-28bd40ba3f90ad45.d: crates/rmb-bench/src/bin/compare.rs
+
+/root/repo/target/release/deps/compare-28bd40ba3f90ad45: crates/rmb-bench/src/bin/compare.rs
+
+crates/rmb-bench/src/bin/compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare-2e772cb972e898df.d: crates/rmb-bench/src/bin/compare.rs
+
+/root/repo/target/release/deps/compare-2e772cb972e898df: crates/rmb-bench/src/bin/compare.rs
+
+crates/rmb-bench/src/bin/compare.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-d165e998572f08c8.d: crates/criterion-lite/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d165e998572f08c8.rlib: crates/criterion-lite/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d165e998572f08c8.rmeta: crates/criterion-lite/src/lib.rs
+
+crates/criterion-lite/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cycle_machine-73ee5235c20ad769.d: crates/rmb-bench/benches/cycle_machine.rs
+
+/root/repo/target/release/deps/cycle_machine-73ee5235c20ad769: crates/rmb-bench/benches/cycle_machine.rs
+
+crates/rmb-bench/benches/cycle_machine.rs:

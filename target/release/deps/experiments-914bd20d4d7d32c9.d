@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-914bd20d4d7d32c9.d: crates/rmb-bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-914bd20d4d7d32c9: crates/rmb-bench/src/bin/experiments.rs
+
+crates/rmb-bench/src/bin/experiments.rs:

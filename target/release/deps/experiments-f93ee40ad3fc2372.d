@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f93ee40ad3fc2372.d: crates/rmb-bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-f93ee40ad3fc2372: crates/rmb-bench/src/bin/experiments.rs
+
+crates/rmb-bench/src/bin/experiments.rs:

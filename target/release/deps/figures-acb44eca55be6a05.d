@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-acb44eca55be6a05.d: crates/rmb-bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-acb44eca55be6a05: crates/rmb-bench/src/bin/figures.rs
+
+crates/rmb-bench/src/bin/figures.rs:

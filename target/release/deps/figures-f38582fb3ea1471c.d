@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f38582fb3ea1471c.d: crates/rmb-bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f38582fb3ea1471c: crates/rmb-bench/src/bin/figures.rs
+
+crates/rmb-bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1027c7e5e92fa9f6.d: crates/proptest-lite/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1027c7e5e92fa9f6.rlib: crates/proptest-lite/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1027c7e5e92fa9f6.rmeta: crates/proptest-lite/src/lib.rs
+
+crates/proptest-lite/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rmb-25e287147a3df918.d: src/lib.rs
+
+/root/repo/target/release/deps/librmb-25e287147a3df918.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librmb-25e287147a3df918.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rmb_analysis-4d4f1f805ad860c0.d: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs
+
+/root/repo/target/release/deps/librmb_analysis-4d4f1f805ad860c0.rlib: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs
+
+/root/repo/target/release/deps/librmb_analysis-4d4f1f805ad860c0.rmeta: crates/rmb-analysis/src/lib.rs crates/rmb-analysis/src/cost.rs crates/rmb-analysis/src/dual_ring.rs crates/rmb-analysis/src/grid.rs crates/rmb-analysis/src/lattice.rs crates/rmb-analysis/src/model.rs crates/rmb-analysis/src/offline.rs crates/rmb-analysis/src/rmb_adapter.rs crates/rmb-analysis/src/report.rs crates/rmb-analysis/src/structural.rs
+
+crates/rmb-analysis/src/lib.rs:
+crates/rmb-analysis/src/cost.rs:
+crates/rmb-analysis/src/dual_ring.rs:
+crates/rmb-analysis/src/grid.rs:
+crates/rmb-analysis/src/lattice.rs:
+crates/rmb-analysis/src/model.rs:
+crates/rmb-analysis/src/offline.rs:
+crates/rmb-analysis/src/rmb_adapter.rs:
+crates/rmb-analysis/src/report.rs:
+crates/rmb-analysis/src/structural.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rmb_async-30acb3431a0d3f38.d: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+/root/repo/target/release/deps/librmb_async-30acb3431a0d3f38.rlib: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+/root/repo/target/release/deps/librmb_async-30acb3431a0d3f38.rmeta: crates/rmb-async/src/lib.rs crates/rmb-async/src/compactor.rs crates/rmb-async/src/cycle_ring.rs
+
+crates/rmb-async/src/lib.rs:
+crates/rmb-async/src/compactor.rs:
+crates/rmb-async/src/cycle_ring.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rmb_baselines-d102a1f8dd4924b3.d: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+/root/repo/target/release/deps/librmb_baselines-d102a1f8dd4924b3.rlib: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+/root/repo/target/release/deps/librmb_baselines-d102a1f8dd4924b3.rmeta: crates/rmb-baselines/src/lib.rs crates/rmb-baselines/src/ehc.rs crates/rmb-baselines/src/fattree.rs crates/rmb-baselines/src/graph.rs crates/rmb-baselines/src/hypercube.rs crates/rmb-baselines/src/mesh.rs crates/rmb-baselines/src/torus.rs crates/rmb-baselines/src/traits.rs crates/rmb-baselines/src/wormhole.rs
+
+crates/rmb-baselines/src/lib.rs:
+crates/rmb-baselines/src/ehc.rs:
+crates/rmb-baselines/src/fattree.rs:
+crates/rmb-baselines/src/graph.rs:
+crates/rmb-baselines/src/hypercube.rs:
+crates/rmb-baselines/src/mesh.rs:
+crates/rmb-baselines/src/torus.rs:
+crates/rmb-baselines/src/traits.rs:
+crates/rmb-baselines/src/wormhole.rs:

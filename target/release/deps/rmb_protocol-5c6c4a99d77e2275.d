@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rmb_protocol-5c6c4a99d77e2275.d: crates/rmb-bench/benches/rmb_protocol.rs
+
+/root/repo/target/release/deps/rmb_protocol-5c6c4a99d77e2275: crates/rmb-bench/benches/rmb_protocol.rs
+
+crates/rmb-bench/benches/rmb_protocol.rs:

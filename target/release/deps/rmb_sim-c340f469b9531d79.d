@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rmb_sim-c340f469b9531d79.d: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+/root/repo/target/release/deps/librmb_sim-c340f469b9531d79.rlib: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+/root/repo/target/release/deps/librmb_sim-c340f469b9531d79.rmeta: crates/rmb-sim/src/lib.rs crates/rmb-sim/src/clock.rs crates/rmb-sim/src/par.rs crates/rmb-sim/src/queue.rs crates/rmb-sim/src/rng.rs crates/rmb-sim/src/stats.rs crates/rmb-sim/src/trace.rs
+
+crates/rmb-sim/src/lib.rs:
+crates/rmb-sim/src/clock.rs:
+crates/rmb-sim/src/par.rs:
+crates/rmb-sim/src/queue.rs:
+crates/rmb-sim/src/rng.rs:
+crates/rmb-sim/src/stats.rs:
+crates/rmb-sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-7a611f3991028576.d: crates/rmb-bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-7a611f3991028576: crates/rmb-bench/src/bin/tables.rs
+
+crates/rmb-bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-c7d6771cda53ad0b.d: crates/rmb-bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-c7d6771cda53ad0b: crates/rmb-bench/src/bin/tables.rs
+
+crates/rmb-bench/src/bin/tables.rs:

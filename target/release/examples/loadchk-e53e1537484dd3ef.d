@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/loadchk-e53e1537484dd3ef.d: crates/rmb-bench/examples/loadchk.rs
+
+/root/repo/target/release/examples/loadchk-e53e1537484dd3ef: crates/rmb-bench/examples/loadchk.rs
+
+crates/rmb-bench/examples/loadchk.rs:

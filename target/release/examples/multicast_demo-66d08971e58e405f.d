@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multicast_demo-66d08971e58e405f.d: examples/multicast_demo.rs
+
+/root/repo/target/release/examples/multicast_demo-66d08971e58e405f: examples/multicast_demo.rs
+
+examples/multicast_demo.rs:

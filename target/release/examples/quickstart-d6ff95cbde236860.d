@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d6ff95cbde236860.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d6ff95cbde236860: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/saturation_study-bf50747d198b5d4a.d: examples/saturation_study.rs
+
+/root/repo/target/release/examples/saturation_study-bf50747d198b5d4a: examples/saturation_study.rs
+
+examples/saturation_study.rs:

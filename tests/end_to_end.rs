@@ -33,10 +33,10 @@ fn workload_to_delivery_pipeline() {
     net.set_checked(true);
     net.submit_all(msgs.iter().copied()).expect("valid workload");
     let report = net.run_to_quiescence(4_000_000);
-    assert_eq!(report.delivered.len(), msgs.len(), "stalled={}", report.stalled);
+    assert_eq!(report.delivered, msgs.len(), "stalled={}", report.stalled);
     // Delivered payload sizes match the submitted specs one-to-one.
     let mut sent: Vec<u32> = msgs.iter().map(|m| m.data_flits).collect();
-    let mut got: Vec<u32> = report.delivered.iter().map(|d| d.spec.data_flits).collect();
+    let mut got: Vec<u32> = net.delivered_log().iter().map(|d| d.spec.data_flits).collect();
     sent.sort_unstable();
     got.sort_unstable();
     assert_eq!(sent, got);
@@ -151,7 +151,7 @@ fn deterministic_across_runs() {
         let mut net = RmbNetwork::new(rmb_cfg(n, 4));
         net.submit_all(msgs.iter().copied()).expect("valid");
         let r = net.run_to_quiescence(2_000_000);
-        (r.ticks, r.delivered.len(), r.compaction_moves, r.refusals)
+        (r.ticks, r.delivered, r.compaction_moves, r.refusals)
     };
     assert_eq!(run(), run(), "simulation must be a pure function of input");
 }

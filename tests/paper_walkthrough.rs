@@ -53,7 +53,7 @@ fn s22_busy_top_segment_blocks_initiation() {
     // Only the single-send limit is in play here too; widen it to show
     // the *segment* is the blocker.
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
 }
 
 /// §2.2: "Data flits are only transmitted after an acknowledgement is
@@ -104,7 +104,7 @@ fn s22_nack_releases_and_retries() {
     let live: usize = net.virtual_buses().map(|b| b.active_hops()).sum();
     assert_eq!(net.busy_segments(), live);
     let report = net.run_to_quiescence(1_000_000);
-    assert_eq!(report.delivered.len(), 2, "retry eventually succeeds");
+    assert_eq!(report.delivered, 2, "retry eventually succeeds");
 }
 
 /// §2.2: "A 'Fack' signal is used by all intermediate INCs to free a port
@@ -170,7 +170,7 @@ fn s23_buffered_header_waits_and_then_inserts() {
     net.run(5);
     assert_eq!(net.pending_requests(), 1, "second HF buffered");
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 2);
+    assert_eq!(report.delivered, 2);
 }
 
 /// §2.3: the make-before-break guarantee — "the communication on a
@@ -188,8 +188,9 @@ fn s23_compaction_does_not_disturb_the_stream() {
         net.set_checked(true);
         net.submit(MessageSpec::new(NodeId::new(1), NodeId::new(9), 24))
             .unwrap();
-        let r = net.run_to_quiescence(10_000);
-        (r.delivered[0].circuit_at, r.delivered[0].delivered_at)
+        net.run_to_quiescence(10_000);
+        let d = net.delivered_log()[0];
+        (d.circuit_at, d.delivered_at)
     };
     assert_eq!(run(true), run(false));
 }
@@ -242,7 +243,7 @@ fn s4_more_virtual_buses_than_physical_buses() {
         net.active_virtual_buses()
     );
     let report = net.run_to_quiescence(100_000);
-    assert_eq!(report.delivered.len(), 12);
+    assert_eq!(report.delivered, 12);
     assert!(report.peak_virtual_buses > 2, "more virtual buses than k");
 }
 

@@ -1,8 +1,9 @@
 //! Public-API hygiene tests: umbrella re-exports, thread-safety markers,
-//! serde round-trips of configuration and results.
+//! JSON round-trips of configuration and results.
 
 use rmb::core::{BusState, RmbNetwork, RunReport, VirtualBus};
 use rmb::sim::{EventQueue, SimRng, Tick};
+use rmb::types::json::{FromJson, ToJson};
 use rmb::types::{
     Ack, AckMode, DeliveredMessage, Flit, MessageSpec, NodeId, RequestId, RmbConfig,
 };
@@ -37,7 +38,7 @@ fn key_types_are_send_and_sync() {
 }
 
 #[test]
-fn config_serde_roundtrip() {
+fn config_json_roundtrip() {
     let cfg = RmbConfig::builder(32, 8)
         .compaction(true)
         .early_compaction(false)
@@ -46,16 +47,16 @@ fn config_serde_roundtrip() {
         .retry_backoff(9)
         .build()
         .unwrap();
-    let json = serde_json::to_string(&cfg).unwrap();
-    let back: RmbConfig = serde_json::from_str(&json).unwrap();
+    let json = cfg.to_json();
+    let back = RmbConfig::from_json(&json).unwrap();
     assert_eq!(cfg, back);
 }
 
 #[test]
-fn message_and_result_serde_roundtrip() {
+fn message_and_result_json_roundtrip() {
     let spec = MessageSpec::new(NodeId::new(1), NodeId::new(5), 32).at(7);
-    let json = serde_json::to_string(&spec).unwrap();
-    assert_eq!(serde_json::from_str::<MessageSpec>(&json).unwrap(), spec);
+    let json = spec.to_json();
+    assert_eq!(MessageSpec::from_json(&json).unwrap(), spec);
 
     let d = DeliveredMessage {
         request: RequestId::new(3),
@@ -65,8 +66,8 @@ fn message_and_result_serde_roundtrip() {
         delivered_at: 60,
         refusals: 1,
     };
-    let json = serde_json::to_string(&d).unwrap();
-    assert_eq!(serde_json::from_str::<DeliveredMessage>(&json).unwrap(), d);
+    let json = d.to_json();
+    assert_eq!(DeliveredMessage::from_json(&json).unwrap(), d);
 }
 
 #[test]
@@ -76,7 +77,7 @@ fn network_is_usable_behind_a_thread() {
         let mut net = RmbNetwork::new(RmbConfig::new(8, 2).unwrap());
         net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(4), 8))
             .unwrap();
-        net.run_to_quiescence(100_000).delivered.len()
+        net.run_to_quiescence(100_000).delivered
     });
     assert_eq!(handle.join().unwrap(), 1);
 }
