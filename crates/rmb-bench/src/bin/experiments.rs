@@ -14,10 +14,11 @@
 
 use rmb_bench::experiments::{
     ablation_suite, ablation_table, competitiveness, competitiveness_table, deadlock_study,
-    grid_experiment, grid_table, hotspot_experiment, hotspot_table, lemma1_experiment,
-    load_sweep, load_table, multi_send_experiment, multi_send_table, multicast_experiment,
-    multicast_table, permutation_comparison, permutation_table, scaling_experiment,
-    scaling_table, theorem1_experiment, wire_delay_experiment, wire_delay_table,
+    fault_tolerance_experiment, fault_tolerance_table, grid_experiment, grid_table,
+    hotspot_experiment, hotspot_table, lemma1_experiment, load_sweep, load_table,
+    multi_send_experiment, multi_send_table, multicast_experiment, multicast_table,
+    permutation_comparison, permutation_table, scaling_experiment, scaling_table,
+    theorem1_experiment, wire_delay_experiment, wire_delay_table,
 };
 
 #[derive(Debug, Clone)]
@@ -60,7 +61,8 @@ fn parse() -> Options {
                 eprintln!(
                     "usage: experiments [--exp lemma1|theorem1|permutation|\
                      competitiveness|ablation|load|deadlock|multicast|\
-                     wire-delay|grid|multi-send|hotspot|scaling|all] \
+                     wire-delay|grid|multi-send|hotspot|scaling|\
+                     fault-tolerance|all] \
                      [--n N] [--k K] [--flits F] [--seed S]"
                 );
                 std::process::exit(2);
@@ -176,6 +178,20 @@ fn main() {
         }
         let rows = multi_send_experiment(opt.n.min(16), opt.k.min(4), opt.flits);
         emit(opt.json, "multi-send", &rows, multi_send_table(&rows));
+    }
+    if all || opt.exp == "fault-tolerance" {
+        let n = opt.n.min(32);
+        let k = opt.k.min(8);
+        if !opt.json {
+            println!("Fault tolerance — throughput under failing segments (N = {n}, k = {k}):\n");
+        }
+        let fractions = [0.0, 0.05, 0.1, 0.15, 0.2];
+        let mut sizes = vec![(n, k.min(4))];
+        if k > 4 {
+            sizes.push((n, k));
+        }
+        let rows = fault_tolerance_experiment(&sizes, &fractions, opt.flits, opt.seed);
+        emit(opt.json, "fault-tolerance", &rows, fault_tolerance_table(&rows));
     }
     if all || opt.exp == "deadlock" {
         if !opt.json {

@@ -32,8 +32,9 @@ pub fn lemma1_experiment(n: u32, seed: u64) -> Lemma1Result {
     // (a) Tick simulator with jittered per-INC activation and traffic.
     let mut rng = SimRng::seed(seed);
     let periods: Vec<u64> = (0..n).map(|_| 1 + rng.index(6).unwrap() as u64).collect();
-    let mut net = RmbNetwork::new(RmbConfig::new(n, 4).expect("valid"));
-    net.set_compaction_mode(CompactionMode::Handshake { periods });
+    let mut net = RmbNetwork::builder(RmbConfig::new(n, 4).expect("valid"))
+        .compaction_mode(CompactionMode::Handshake { periods })
+        .build();
     for s in 0..n {
         let dst = (s + 1 + rng.index((n - 1) as usize).unwrap() as u32) % n;
         if dst != s {

@@ -9,6 +9,7 @@ mod compare;
 mod competitive;
 mod deadlock;
 mod extensions;
+mod fault_tolerance;
 mod lemma1;
 mod load;
 mod permutation;
@@ -23,6 +24,9 @@ pub use extensions::{
     grid_experiment, grid_table, hotspot_experiment, hotspot_table, multi_send_experiment,
     multi_send_table, multicast_experiment, multicast_table, wire_delay_experiment,
     wire_delay_table, GridRow, HotspotRow, MulticastRow, MultiSendRow, WireDelayRow,
+};
+pub use fault_tolerance::{
+    fault_tolerance_experiment, fault_tolerance_table, FaultToleranceRow,
 };
 pub use lemma1::{lemma1_experiment, Lemma1Result};
 pub use load::{load_sweep, load_table, LoadPoint};

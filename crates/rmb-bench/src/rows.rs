@@ -108,9 +108,9 @@ macro_rules! json_report {
 }
 
 use crate::experiments::{
-    AblationResult, CompetitivenessRow, DeadlockResult, GridRow, HotspotRow, Lemma1Result,
-    LoadPoint, MultiSendRow, MulticastRow, PermutationRow, ScalingRow, Theorem1Result,
-    WireDelayRow,
+    AblationResult, CompetitivenessRow, DeadlockResult, FaultToleranceRow, GridRow, HotspotRow,
+    Lemma1Result, LoadPoint, MultiSendRow, MulticastRow, PermutationRow, ScalingRow,
+    Theorem1Result, WireDelayRow,
 };
 
 json_report!(AblationResult { variant, makespan, mean_latency, refusals, stalled });
@@ -146,6 +146,20 @@ json_report!(MulticastRow { group, multicast, unicast_series });
 json_report!(WireDelayRow { network, unit_wires, layout_wires });
 json_report!(GridRow { network, segments, makespan });
 json_report!(MultiSendRow { sends, makespan });
+json_report!(FaultToleranceRow {
+    n,
+    k,
+    fraction,
+    faulted_segments,
+    messages,
+    delivered,
+    aborted,
+    retries,
+    fault_kills,
+    throughput,
+    mean_latency,
+    stalled,
+});
 
 #[cfg(test)]
 mod tests {

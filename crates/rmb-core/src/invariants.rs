@@ -15,6 +15,12 @@
 //!    top segment for header flits).
 //! 4. **Legal port codes** — every derived INC status register is one of
 //!    Table 1's allowed codes.
+//! 5. **Fault isolation** — no *live* circuit (establishing, awaiting the
+//!    Hack, or streaming data flits) occupies a faulted segment. A faulted
+//!    segment owned by no bus is legal (it simply sits out of the
+//!    availability pool), and so is one still owned by a circuit that is
+//!    tearing down — the Nack/Fack frees it tail-first over the following
+//!    ticks — but a data flit crossing a faulted segment is not.
 //!
 //! A fifth property — *downward-only motion* (§2.2: "The motion of
 //! virtual-buses for the purpose of compaction is only downwards") — needs
@@ -156,6 +162,28 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
                 return fail(
                     "port-codes",
                     format!("INC {node} output {l} holds forbidden code {status}"),
+                );
+            }
+        }
+    }
+
+    // 5. Fault isolation: live circuits never occupy faulted segments.
+    // (Unowned faulted segments are legal, as are dying circuits whose
+    // teardown has not yet swept past the fault.)
+    for bus in buses.values() {
+        if !bus.state.compactable() {
+            continue;
+        }
+        for j in 0..bus.heights.len() {
+            let hop = bus.hop_upstream_node(ring, j);
+            let height = bus.heights[j];
+            if net.is_segment_faulted(hop, height) {
+                return fail(
+                    "fault-isolation",
+                    format!(
+                        "live bus {} ({}) occupies faulted segment (hop {hop}, {height})",
+                        bus.id, bus.state
+                    ),
                 );
             }
         }

@@ -146,13 +146,13 @@ impl FlitLevelRmb {
     pub fn submit(&mut self, spec: MessageSpec) -> Result<RequestId, ProtocolError> {
         let ring = self.cfg.nodes();
         if !ring.contains(spec.source) {
-            return Err(ProtocolError::UnknownNode(spec.source));
+            return Err(ProtocolError::unknown_node(spec.source));
         }
         if !ring.contains(spec.destination) {
-            return Err(ProtocolError::UnknownNode(spec.destination));
+            return Err(ProtocolError::unknown_node(spec.destination));
         }
         if spec.source == spec.destination {
-            return Err(ProtocolError::SelfMessage(spec.source));
+            return Err(ProtocolError::self_message(spec.source));
         }
         let request = RequestId::new(self.next_request);
         self.next_request += 1;

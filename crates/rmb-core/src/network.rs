@@ -32,15 +32,19 @@
 use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
 use crate::cycle::CycleRing;
 use crate::invariants::{check_network, InvariantViolation};
+use crate::options::{RmbNetworkBuilder, SimOptions};
 use crate::virtual_bus::{BusState, StreamState, VirtualBus};
 use rmb_sim::stats::OnlineStats;
 use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
-use rmb_sim::Tick;
+use rmb_sim::{SimRng, Tick};
 use rmb_types::{
-    AckMode, BusIndex, DeliveredMessage, InsertionPolicy, MessageSpec, NodeId, ProtocolError,
-    RequestId, RingSize, RmbConfig, VirtualBusId,
+    AckMode, BusIndex, DeliveredMessage, FaultKind, InsertionPolicy, MessageSpec, NodeId,
+    ProtocolError, RequestId, RingSize, RmbConfig, VirtualBusId,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+/// Cap on the bounded exponential fault-retry backoff, in ticks.
+const MAX_FAULT_BACKOFF: u64 = 4096;
 
 /// Which compaction engine drives the odd/even cycles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -224,12 +228,27 @@ pub struct RunReport {
     /// `true` if the run ended because no progress was being made while
     /// work remained (a routing stall / deadlock).
     pub stalled: bool,
+    /// Total requeue events: every time a refused or fault-killed request
+    /// went back to its source queue for another attempt.
+    pub retries: u64,
+    /// Messages dropped after exhausting the retry budget (counted per
+    /// destination, like `delivered`). A subset of `undelivered`.
+    pub aborted: usize,
+    /// Live circuits torn down because a fault struck a resource they
+    /// occupied or depended on.
+    pub fault_kills: u64,
     /// Tick of the last delivery (0 when nothing was delivered).
     makespan: u64,
     /// Sum of end-to-end latencies over all deliveries.
     latency_sum: u64,
     /// Sum of circuit set-up latencies over all deliveries.
     setup_sum: u64,
+    /// Requests that were fault-killed at least once and later delivered.
+    recovered: usize,
+    /// Sum over recovered requests of (delivery tick - first kill tick).
+    recovery_sum: u64,
+    /// Worst time-to-recover over recovered requests.
+    max_recovery: u64,
 }
 
 impl RunReport {
@@ -252,6 +271,26 @@ impl RunReport {
             return 0.0;
         }
         self.setup_sum as f64 / self.delivered as f64
+    }
+
+    /// Requests that were fault-killed at least once and later delivered.
+    pub const fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// Mean ticks from a request's first fault kill to its delivery, over
+    /// the requests that recovered (0 when none did).
+    pub fn mean_time_to_recover(&self) -> f64 {
+        if self.recovered == 0 {
+            return 0.0;
+        }
+        self.recovery_sum as f64 / self.recovered as f64
+    }
+
+    /// Worst ticks from first fault kill to delivery over recovered
+    /// requests (0 when none recovered).
+    pub const fn max_time_to_recover(&self) -> u64 {
+        self.max_recovery
     }
 }
 
@@ -282,18 +321,38 @@ pub struct RmbNetwork {
     free_per_hop: Vec<u16>,
     buses: BusSlab,
     nodes: Vec<NodeState>,
-    mode: CompactionMode,
+    /// Runtime options (compaction engine, fault schedule, tracing,
+    /// checking). The deprecated setters and the builder both end here.
+    opts: SimOptions,
     cycles: Option<CycleRing>,
     next_request: u64,
     next_bus: u64,
     busy_segments: usize,
-    /// Skip ahead over stretches of ticks with no due work (only taken in
-    /// synchronous mode, where idle ticks are pure no-ops).
-    fast_forward: bool,
+    // Fault machinery.
+    /// The plan flattened to `(tick, is_repair, kind)`, sorted by tick.
+    fault_timeline: Vec<(u64, bool, FaultKind)>,
+    /// Cursor into `fault_timeline`: first entry not yet applied.
+    next_fault: usize,
+    /// Active fault count per segment (flat `hop * k + bus`); a segment is
+    /// faulty while any covering fault is active.
+    fault_count: Vec<u8>,
+    /// Active `IncDead` count per node.
+    dead_inc: Vec<u8>,
+    /// Jitter stream for fault-retry backoff; only drawn after a fault
+    /// kill, so fault-free runs never touch it.
+    fault_rng: SimRng,
+    /// First fault-kill tick per request still awaiting recovery.
+    first_kill: HashMap<u64, u64>,
     // Counters and stats.
     delivered: Vec<DeliveredMessage>,
     refusals: u64,
     compaction_moves: u64,
+    retries: u64,
+    aborted: usize,
+    fault_kills: u64,
+    recovered: usize,
+    recovery_sum: u64,
+    max_recovery: u64,
     utilization: OnlineStats,
     peak_virtual_buses: usize,
     submitted: u64,
@@ -304,36 +363,80 @@ pub struct RmbNetwork {
     // Reusable per-tick scratch (kept to avoid per-tick allocation).
     scratch_ids: Vec<VirtualBusId>,
     scratch_moves: Vec<MoveCmd>,
-    // Tracing / checking.
+    // Tracing.
     recorder: Option<VecSink>,
-    checked: bool,
     /// Previous heights per live bus, kept only in checked mode to verify
     /// downward-only motion.
-    height_history: std::collections::HashMap<u64, Vec<u16>>,
+    height_history: HashMap<u64, Vec<u16>>,
 }
 
 impl RmbNetwork {
-    /// Creates an idle network from a configuration, using the synchronous
-    /// compactor.
+    /// Creates an idle network from a configuration with default options
+    /// (synchronous compactor, fast-forward on, no faults).
     pub fn new(cfg: RmbConfig) -> Self {
+        Self::with_options(cfg, SimOptions::default())
+    }
+
+    /// Starts a builder over this configuration; see
+    /// [`RmbNetworkBuilder`].
+    pub fn builder(cfg: RmbConfig) -> RmbNetworkBuilder {
+        RmbNetworkBuilder::new(cfg)
+    }
+
+    /// Creates an idle network from a configuration plus explicit
+    /// [`SimOptions`] (what [`RmbNetworkBuilder::build`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handshake mode's `periods` length differs from `N` or
+    /// contains a zero, or if the fault plan names nodes or buses outside
+    /// the ring.
+    pub fn with_options(cfg: RmbConfig, opts: SimOptions) -> Self {
+        if let Err(e) = opts.fault_plan.validate(cfg.nodes().get(), cfg.buses()) {
+            panic!("invalid fault plan: {e}");
+        }
+        // Flatten the plan into one sorted timeline of activations and
+        // repairs; the stable sort keeps same-tick events in plan order.
+        let mut fault_timeline = Vec::with_capacity(opts.fault_plan.events().len() * 2);
+        for event in opts.fault_plan.events() {
+            fault_timeline.push((event.at, false, event.kind));
+            if let Some(repair) = event.repair_at {
+                fault_timeline.push((repair, true, event.kind));
+            }
+        }
+        fault_timeline.sort_by_key(|&(at, _, _)| at);
         let n = cfg.nodes().as_usize();
         let k = cfg.buses() as usize;
-        RmbNetwork {
+        let mode = opts.compaction_mode.clone();
+        let fault_seed = opts.fault_seed;
+        let recording = opts.recording;
+        let mut net = RmbNetwork {
             cfg,
             now: Tick::ZERO,
             segments: vec![None; n * k],
             free_per_hop: vec![k as u16; n],
             buses: BusSlab::default(),
             nodes: vec![NodeState::default(); n],
-            mode: CompactionMode::Synchronous,
+            opts,
             cycles: None,
             next_request: 0,
             next_bus: 0,
             busy_segments: 0,
-            fast_forward: true,
+            fault_timeline,
+            next_fault: 0,
+            fault_count: vec![0; n * k],
+            dead_inc: vec![0; n],
+            fault_rng: SimRng::seed(fault_seed),
+            first_kill: HashMap::new(),
             delivered: Vec::new(),
             refusals: 0,
             compaction_moves: 0,
+            retries: 0,
+            aborted: 0,
+            fault_kills: 0,
+            recovered: 0,
+            recovery_sum: 0,
+            max_recovery: 0,
             utilization: OnlineStats::default(),
             peak_virtual_buses: 0,
             submitted: 0,
@@ -343,19 +446,21 @@ impl RmbNetwork {
             last_delivery_at: 0,
             scratch_ids: Vec::new(),
             scratch_moves: Vec::new(),
-            recorder: None,
-            checked: false,
-            height_history: std::collections::HashMap::new(),
-        }
+            recorder: recording.then(VecSink::new),
+            height_history: HashMap::new(),
+        };
+        net.apply_compaction_mode(mode);
+        net
     }
 
-    /// Switches the compaction engine. Resets the handshake controllers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a handshake mode's `periods` length differs from `N` or
-    /// contains a zero.
-    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+    /// The options this network runs under.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Validates `mode` and installs it, resetting the handshake
+    /// controllers.
+    fn apply_compaction_mode(&mut self, mode: CompactionMode) {
         if let CompactionMode::Handshake { periods } = &mode {
             assert_eq!(
                 periods.len(),
@@ -367,7 +472,18 @@ impl RmbNetwork {
         } else {
             self.cycles = None;
         }
-        self.mode = mode;
+        self.opts.compaction_mode = mode;
+    }
+
+    /// Switches the compaction engine. Resets the handshake controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handshake mode's `periods` length differs from `N` or
+    /// contains a zero.
+    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
+    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+        self.apply_compaction_mode(mode);
     }
 
     /// Enables or disables the idle-tick fast-forward in
@@ -382,12 +498,15 @@ impl RmbNetwork {
     /// produces the same run as ticking through the idle stretch (the
     /// running utilisation mean may differ in the last floating-point
     /// digit).
+    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
     pub fn set_fast_forward(&mut self, on: bool) {
-        self.fast_forward = on;
+        self.opts.fast_forward = on;
     }
 
     /// Starts recording protocol trace events.
+    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
     pub fn enable_recording(&mut self) {
+        self.opts.recording = true;
         self.recorder = Some(VecSink::new());
     }
 
@@ -408,8 +527,9 @@ impl RmbNetwork {
     ///
     /// Once enabled, `tick` panics on the first invariant violation — this
     /// is meant for tests and small fidelity runs.
+    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
     pub fn set_checked(&mut self, on: bool) {
-        self.checked = on;
+        self.opts.checked = on;
     }
 
     /// The static configuration.
@@ -458,9 +578,33 @@ impl RmbNetwork {
         self.busy_segments as f64 / total as f64
     }
 
+    /// `true` while any active fault covers the segment between `hop` and
+    /// `hop + 1` at height `bus`.
+    pub fn is_segment_faulted(&self, hop: NodeId, bus: BusIndex) -> bool {
+        let k = self.cfg.buses() as usize;
+        hop.as_usize() < self.nodes.len()
+            && bus.as_usize() < k
+            && self.faulted(hop.as_usize(), bus.as_usize())
+    }
+
+    /// `true` while any active `IncDead` fault covers `node`.
+    pub fn is_inc_dead(&self, node: NodeId) -> bool {
+        node.as_usize() < self.nodes.len() && self.dead_inc[node.as_usize()] > 0
+    }
+
+    /// Number of segments currently covered by at least one active fault.
+    pub fn faulted_segments(&self) -> usize {
+        self.fault_count.iter().filter(|&&c| c > 0).count()
+    }
+
     #[inline]
     fn seg(&self, hop: usize, bus: usize) -> Option<VirtualBusId> {
         self.segments[hop * self.cfg.buses() as usize + bus]
+    }
+
+    #[inline]
+    fn faulted(&self, hop: usize, bus: usize) -> bool {
+        self.fault_count[hop * self.cfg.buses() as usize + bus] > 0
     }
 
     /// The occupant of the segment between `hop` and `hop + 1` at height
@@ -487,8 +631,9 @@ impl RmbNetwork {
         self.buses.is_empty() && self.nodes.iter().all(|n| n.pending.is_empty())
     }
 
-    /// `true` when some circuit is live or some pending request is already
-    /// due for injection (as opposed to scheduled for a future tick).
+    /// `true` when some circuit is live, some pending request is already
+    /// due for injection (as opposed to scheduled for a future tick), or a
+    /// scheduled fault event is due to apply.
     pub fn has_due_work(&self) -> bool {
         !self.buses.is_empty()
             || self.nodes.iter().any(|n| {
@@ -496,15 +641,29 @@ impl RmbNetwork {
                     .front()
                     .is_some_and(|p| p.not_before <= self.now.get())
             })
+            || self
+                .next_fault_tick()
+                .is_some_and(|at| at <= self.now.get())
     }
 
-    /// The earliest tick at which a pending request becomes due, if any.
-    /// Only queue fronts matter: injection is head-of-line per node.
+    /// The earliest tick at which a pending request or a scheduled fault
+    /// event becomes due, if any. Only queue fronts matter: injection is
+    /// head-of-line per node.
     fn next_due_tick(&self) -> Option<u64> {
-        self.nodes
+        let pending = self
+            .nodes
             .iter()
             .filter_map(|n| n.pending.front().map(|p| p.not_before))
-            .min()
+            .min();
+        match (pending, self.next_fault_tick()) {
+            (Some(p), Some(f)) => Some(p.min(f)),
+            (p, f) => p.or(f),
+        }
+    }
+
+    /// Tick of the next unapplied fault-timeline entry, if any.
+    fn next_fault_tick(&self) -> Option<u64> {
+        self.fault_timeline.get(self.next_fault).map(|&(at, _, _)| at)
     }
 
     /// Submits a message for delivery.
@@ -517,13 +676,13 @@ impl RmbNetwork {
     pub fn submit(&mut self, spec: MessageSpec) -> Result<RequestId, ProtocolError> {
         let ring = self.ring();
         if !ring.contains(spec.source) {
-            return Err(ProtocolError::UnknownNode(spec.source));
+            return Err(ProtocolError::unknown_node(spec.source));
         }
         if !ring.contains(spec.destination) {
-            return Err(ProtocolError::UnknownNode(spec.destination));
+            return Err(ProtocolError::unknown_node(spec.destination));
         }
         if spec.source == spec.destination {
-            return Err(ProtocolError::SelfMessage(spec.source));
+            return Err(ProtocolError::self_message(spec.source));
         }
         let request = RequestId::new(self.next_request);
         self.next_request += 1;
@@ -568,23 +727,23 @@ impl RmbNetwork {
     ) -> Result<RequestId, ProtocolError> {
         let ring = self.ring();
         if !ring.contains(source) {
-            return Err(ProtocolError::UnknownNode(source));
+            return Err(ProtocolError::unknown_node(source));
         }
         if destinations.is_empty() {
-            return Err(ProtocolError::SelfMessage(source));
+            return Err(ProtocolError::self_message(source));
         }
         let mut sorted = destinations.to_vec();
         for d in &sorted {
             if !ring.contains(*d) {
-                return Err(ProtocolError::UnknownNode(*d));
+                return Err(ProtocolError::unknown_node(*d));
             }
             if *d == source {
-                return Err(ProtocolError::SelfMessage(source));
+                return Err(ProtocolError::self_message(source));
             }
         }
         sorted.sort_by_key(|d| ring.clockwise_distance(source, *d));
         if sorted.windows(2).any(|w| w[0] == w[1]) {
-            return Err(ProtocolError::SelfMessage(source));
+            return Err(ProtocolError::self_message(source));
         }
         let final_dest = *sorted.last().expect("non-empty");
         let taps = sorted[..sorted.len() - 1].to_vec();
@@ -617,6 +776,7 @@ impl RmbNetwork {
 
     /// Advances the simulation by one tick.
     pub fn tick(&mut self) {
+        self.apply_due_faults();
         self.progress_streams_and_teardowns();
         self.decide_at_destinations();
         self.extend_heads();
@@ -652,8 +812,8 @@ impl RmbNetwork {
                 .max()
                 .unwrap_or(0)
             + 64;
-        let can_fast_forward =
-            self.fast_forward && matches!(self.mode, CompactionMode::Synchronous);
+        let can_fast_forward = self.opts.fast_forward
+            && matches!(self.opts.compaction_mode, CompactionMode::Synchronous);
         let mut stalled = false;
         while self.now.get() < max_ticks {
             if self.is_quiescent() {
@@ -731,9 +891,15 @@ impl RmbNetwork {
             peak_virtual_buses: self.peak_virtual_buses,
             undelivered: self.submitted as usize - self.delivered.len(),
             stalled,
+            retries: self.retries,
+            aborted: self.aborted,
+            fault_kills: self.fault_kills,
             makespan: self.last_delivery_at,
             latency_sum: self.latency_sum,
             setup_sum: self.setup_sum,
+            recovered: self.recovered,
+            recovery_sum: self.recovery_sum,
+            max_recovery: self.max_recovery,
         }
     }
 
@@ -752,6 +918,194 @@ impl RmbNetwork {
         self.setup_sum += d.setup_latency();
         self.last_delivery_at = self.last_delivery_at.max(d.delivered_at);
         self.delivered.push(d);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: fault machinery.
+    // ------------------------------------------------------------------
+
+    /// Applies every fault-timeline entry due at or before the current
+    /// tick (runs first in each tick, so a fresh fault is visible to all
+    /// of the tick's phases).
+    fn apply_due_faults(&mut self) {
+        let now = self.now.get();
+        while let Some(&(at, is_repair, kind)) = self.fault_timeline.get(self.next_fault) {
+            if at > now {
+                break;
+            }
+            self.next_fault += 1;
+            if is_repair {
+                self.apply_repair(kind);
+            } else {
+                self.apply_fault(kind);
+            }
+            if self.recorder.is_some() {
+                let (node, bus) = match kind {
+                    FaultKind::SegmentStuck { hop, bus } => (hop, Some(bus)),
+                    FaultKind::LinkCut { hop } => (hop, None),
+                    FaultKind::IncDead { node } => (node, None),
+                };
+                let trace_kind = if is_repair {
+                    TraceKind::FaultRepair
+                } else {
+                    TraceKind::FaultInject
+                };
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(TraceEvent {
+                        at: self.now,
+                        kind: trace_kind,
+                        id: None,
+                        node: Some(node.index()),
+                        bus: bus.map(|b| b.index()),
+                        detail: kind.to_string(),
+                    });
+                }
+            }
+            self.last_progress = now;
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::SegmentStuck { hop, bus } => self.fault_segment(hop.as_usize(), bus),
+            FaultKind::LinkCut { hop } => {
+                for b in 0..self.cfg.buses() {
+                    self.fault_segment(hop.as_usize(), BusIndex::new(b));
+                }
+            }
+            FaultKind::IncDead { node } => {
+                self.dead_inc[node.as_usize()] += 1;
+                // The dead INC drives every segment at its own hop.
+                for b in 0..self.cfg.buses() {
+                    self.fault_segment(node.as_usize(), BusIndex::new(b));
+                }
+                // Circuits terminating (or tapping) at the dead INC lose
+                // their endpoint; the occupancy path above only catches
+                // circuits that pass *through* it.
+                let victims: Vec<VirtualBusId> = self
+                    .buses
+                    .iter()
+                    .filter(|(_, b)| b.spec.destination == node || b.taps.contains(&node))
+                    .map(|(id, _)| id)
+                    .collect();
+                for id in victims {
+                    self.fault_kill(id, "endpoint INC died");
+                }
+            }
+        }
+    }
+
+    fn apply_repair(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::SegmentStuck { hop, bus } => self.repair_segment(hop.as_usize(), bus),
+            FaultKind::LinkCut { hop } => {
+                for b in 0..self.cfg.buses() {
+                    self.repair_segment(hop.as_usize(), BusIndex::new(b));
+                }
+            }
+            FaultKind::IncDead { node } => {
+                self.dead_inc[node.as_usize()] -= 1;
+                for b in 0..self.cfg.buses() {
+                    self.repair_segment(node.as_usize(), BusIndex::new(b));
+                }
+            }
+        }
+    }
+
+    fn fault_segment(&mut self, hop: usize, bus: BusIndex) {
+        let idx = hop * self.cfg.buses() as usize + bus.as_usize();
+        self.fault_count[idx] += 1;
+        if self.fault_count[idx] == 1 {
+            match self.segments[idx] {
+                // An idle segment just leaves the availability pool.
+                None => self.free_per_hop[hop] -= 1,
+                // An occupied one takes its circuit down with it; the
+                // teardown keeps owning the segment until the Nack passes.
+                Some(owner) => self.fault_kill(owner, "segment faulted under the circuit"),
+            }
+        }
+    }
+
+    fn repair_segment(&mut self, hop: usize, bus: BusIndex) {
+        let idx = hop * self.cfg.buses() as usize + bus.as_usize();
+        debug_assert!(self.fault_count[idx] > 0, "repairing a healthy segment");
+        self.fault_count[idx] -= 1;
+        if self.fault_count[idx] == 0 && self.segments[idx].is_none() {
+            self.free_per_hop[hop] += 1;
+        }
+    }
+
+    /// Tears a live circuit down because of a fault: Nack back to the
+    /// source (tail-first, reusing the ordinary teardown machinery) and
+    /// mark it for the bounded-exponential retry path. No-op for circuits
+    /// already tearing down.
+    fn fault_kill(&mut self, id: VirtualBusId, why: &str) {
+        let (receiving, dst, source) = {
+            let Some(bus) = self.buses.get(id) else { return };
+            let receiving = match bus.state {
+                BusState::TearingDown { .. } | BusState::Nacked { .. } => return,
+                BusState::AwaitingHack { .. } | BusState::Streaming(_) => true,
+                BusState::Establishing => false,
+            };
+            (receiving, bus.spec.destination, bus.spec.source)
+        };
+        if receiving {
+            // Past acceptance the destination holds a receive port that
+            // the ordinary Nack path never has to give back; the fault
+            // abort must.
+            self.nodes[dst.as_usize()].receives_active -= 1;
+        }
+        let now = self.now.get();
+        let bus = self.buses.get_mut(id).expect("bus is live");
+        bus.state = BusState::Nacked { freed: 0 };
+        bus.fault_killed = true;
+        let request = bus.request.get();
+        self.fault_kills += 1;
+        self.first_kill.entry(request).or_insert(now);
+        self.last_progress = now;
+        self.trace(TraceKind::FaultKill, id, source, None, why);
+    }
+
+    /// Bounded exponential backoff with jitter for fault-hit retries:
+    /// `base · 2^min(refusals, 12)` capped at [`MAX_FAULT_BACKOFF`], plus
+    /// a uniform jitter of up to half that, drawn from the seeded fault
+    /// stream.
+    fn fault_backoff(&mut self, refusals: u32) -> u64 {
+        let base = self.cfg.node.retry_backoff.max(1);
+        let bounded = base
+            .saturating_mul(1u64 << refusals.min(12))
+            .min(MAX_FAULT_BACKOFF.max(base));
+        bounded + self.fault_rng.index(bounded as usize / 2 + 1).unwrap_or(0) as u64
+    }
+
+    /// Refuses the due request at the head of node `s`'s queue because
+    /// faults block injection (source INC dead, or the header lane
+    /// faulted): counts a refusal, backs off exponentially, and aborts
+    /// once past the retry budget.
+    fn refuse_at_source(&mut self, s: usize) {
+        let now = self.now.get();
+        let mut p = self.nodes[s].pending.pop_front().expect("front exists");
+        p.refusals += 1;
+        self.refusals += 1;
+        self.last_progress = now;
+        if self.opts.max_retries.is_some_and(|limit| p.refusals > limit) {
+            self.aborted += 1 + p.taps.len();
+            self.first_kill.remove(&p.request.get());
+            if let Some(rec) = &mut self.recorder {
+                rec.record(TraceEvent {
+                    at: self.now,
+                    kind: TraceKind::Abort,
+                    id: Some(p.request.get()),
+                    node: Some(s as u32),
+                    bus: None,
+                    detail: format!("dropped at source after {} refusals", p.refusals),
+                });
+            }
+        } else {
+            self.retries += 1;
+            p.not_before = now + self.fault_backoff(p.refusals);
+            self.nodes[s].pending.push_back(p);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -857,6 +1211,12 @@ impl RmbNetwork {
                     });
                     self.nodes[tap.as_usize()].receives_active -= 1;
                 }
+                if let Some(kill_at) = self.first_kill.remove(&bus.request.get()) {
+                    let dt = now.saturating_sub(kill_at);
+                    self.recovered += 1;
+                    self.recovery_sum += dt;
+                    self.max_recovery = self.max_recovery.max(dt);
+                }
                 bus.state = BusState::TearingDown { freed: 0 };
                 self.trace(
                     TraceKind::Deliver,
@@ -903,19 +1263,40 @@ impl RmbNetwork {
                     for tap in &bus.taps[..bus.armed_taps] {
                         self.nodes[tap.as_usize()].receives_active -= 1;
                     }
-                    // Re-queue the refused request with linear backoff.
                     let refusals = bus.refusals + 1;
-                    let backoff = self.cfg.node.retry_backoff * refusals as u64;
-                    self.nodes[bus.spec.source.as_usize()]
-                        .pending
-                        .push_back(PendingRequest {
-                            request: bus.request,
-                            spec: bus.spec,
-                            taps: bus.taps,
-                            requested_at: bus.requested_at,
-                            refusals,
-                            not_before: now + backoff,
-                        });
+                    if self.opts.max_retries.is_some_and(|limit| refusals > limit) {
+                        // Retry budget exhausted: drop the request for
+                        // good, counting every destination it covered.
+                        self.aborted += 1 + bus.taps.len();
+                        self.first_kill.remove(&bus.request.get());
+                        self.trace(
+                            TraceKind::Abort,
+                            bus.id,
+                            bus.spec.source,
+                            None,
+                            "retry budget exhausted",
+                        );
+                    } else {
+                        // Re-queue the refused request: linear backoff for
+                        // ordinary contention Nacks, bounded exponential
+                        // with jitter after a fault kill.
+                        self.retries += 1;
+                        let backoff = if bus.fault_killed {
+                            self.fault_backoff(refusals)
+                        } else {
+                            self.cfg.node.retry_backoff * refusals as u64
+                        };
+                        self.nodes[bus.spec.source.as_usize()]
+                            .pending
+                            .push_back(PendingRequest {
+                                request: bus.request,
+                                spec: bus.spec,
+                                taps: bus.taps,
+                                requested_at: bus.requested_at,
+                                refusals,
+                                not_before: now + backoff,
+                            });
+                    }
                 } else {
                     self.trace(
                         TraceKind::Teardown,
@@ -960,6 +1341,10 @@ impl RmbNetwork {
                 bus.taps.get(bus.armed_taps).copied()
             };
             if Some(head) == next_tap {
+                if self.dead_inc[head.as_usize()] > 0 {
+                    self.fault_kill(id, "tap INC is dead");
+                    continue;
+                }
                 if self.nodes[head.as_usize()].receives_active
                     < self.cfg.node.max_concurrent_receives
                 {
@@ -995,6 +1380,10 @@ impl RmbNetwork {
                         self.last_progress = now;
                     }
                 }
+                continue;
+            }
+            if self.dead_inc[dst.as_usize()] > 0 {
+                self.fault_kill(id, "destination INC is dead");
                 continue;
             }
             let accept = self.nodes[dst.as_usize()].receives_active
@@ -1045,10 +1434,24 @@ impl RmbNetwork {
             let hop = head.as_usize();
             let chosen = match self.cfg.insertion {
                 InsertionPolicy::TopBusOnly => {
+                    if self.faulted(hop, top.as_usize()) {
+                        // The header lane ahead is dead and a parked HF
+                        // cannot sidestep it: Nack back to the source
+                        // rather than wait for a repair that may never
+                        // come.
+                        self.fault_kill(id, "header lane ahead is faulted");
+                        continue;
+                    }
                     // Header flits travel on the top lane only (§2.3).
                     (self.seg(hop, top.as_usize()).is_none()).then_some(top)
                 }
-                InsertionPolicy::AnyFreeBus => self.free_within_reach(hop, last_height),
+                InsertionPolicy::AnyFreeBus => {
+                    if self.reach_all_faulted(hop, last_height) {
+                        self.fault_kill(id, "every reachable segment ahead is faulted");
+                        continue;
+                    }
+                    self.free_within_reach(hop, last_height)
+                }
             };
             if let Some(height) = chosen {
                 debug_assert!(
@@ -1071,25 +1474,45 @@ impl RmbNetwork {
         }
     }
 
-    /// For the `AnyFreeBus` ablation: the first free segment on `hop`
-    /// within switching reach of `from`, preferring straight, then down,
-    /// then up.
+    /// `true` when the segment is neither occupied nor faulted.
+    #[inline]
+    fn available(&self, hop: usize, bus: usize) -> bool {
+        self.seg(hop, bus).is_none() && !self.faulted(hop, bus)
+    }
+
+    /// For the `AnyFreeBus` ablation: the first available segment on
+    /// `hop` within switching reach of `from`, preferring straight, then
+    /// down, then up.
     fn free_within_reach(&self, hop: usize, from: BusIndex) -> Option<BusIndex> {
-        if self.seg(hop, from.as_usize()).is_none() {
+        if self.available(hop, from.as_usize()) {
             return Some(from);
         }
         if let Some(lower) = from.lower() {
-            if self.seg(hop, lower.as_usize()).is_none() {
+            if self.available(hop, lower.as_usize()) {
                 return Some(lower);
             }
         }
         if from.index() + 1 < self.cfg.buses() {
             let upper = from.upper();
-            if self.seg(hop, upper.as_usize()).is_none() {
+            if self.available(hop, upper.as_usize()) {
                 return Some(upper);
             }
         }
         None
+    }
+
+    /// `true` when every segment within switching reach of `from` at
+    /// `hop` is faulted — the header can never advance until a repair, so
+    /// waiting is pointless.
+    fn reach_all_faulted(&self, hop: usize, from: BusIndex) -> bool {
+        let mut all = self.faulted(hop, from.as_usize());
+        if let Some(lower) = from.lower() {
+            all = all && self.faulted(hop, lower.as_usize());
+        }
+        if from.index() + 1 < self.cfg.buses() {
+            all = all && self.faulted(hop, from.upper().as_usize());
+        }
+        all
     }
 
     fn inject_pending(&mut self) {
@@ -1111,6 +1534,21 @@ impl RmbNetwork {
             if front.not_before > now {
                 continue;
             }
+            // Faults that park the request forever — a dead source INC,
+            // or a header lane that is faulted rather than merely busy —
+            // refuse it on the spot so it backs off (and eventually
+            // aborts) instead of deadlocking the queue.
+            let fault_blocked = self.dead_inc[s] > 0
+                || match self.cfg.insertion {
+                    InsertionPolicy::TopBusOnly => self.faulted(s, top.as_usize()),
+                    InsertionPolicy::AnyFreeBus => {
+                        (0..self.cfg.buses() as usize).all(|b| self.faulted(s, b))
+                    }
+                };
+            if fault_blocked {
+                self.refuse_at_source(s);
+                continue;
+            }
             let height = match self.cfg.insertion {
                 InsertionPolicy::TopBusOnly => {
                     // A request may only be initiated when the top segment
@@ -1118,11 +1556,11 @@ impl RmbNetwork {
                     (self.seg(s, top.as_usize()).is_none()).then_some(top)
                 }
                 InsertionPolicy::AnyFreeBus => {
-                    // Highest free segment on the source hop.
+                    // Highest available segment on the source hop.
                     (0..self.cfg.buses())
                         .rev()
                         .map(BusIndex::new)
-                        .find(|b| self.seg(s, b.as_usize()).is_none())
+                        .find(|b| self.available(s, b.as_usize()))
                 }
             };
             let Some(height) = height else {
@@ -1144,6 +1582,7 @@ impl RmbNetwork {
                 parked_since: now,
                 taps: pending.taps,
                 armed_taps: 0,
+                fault_killed: false,
                 state: BusState::Establishing,
             };
             self.trace(
@@ -1162,7 +1601,7 @@ impl RmbNetwork {
         if !self.cfg.compaction {
             return;
         }
-        match self.mode.clone() {
+        match self.opts.compaction_mode.clone() {
             CompactionMode::Synchronous => {
                 let phase = Phase::of_tick(self.now.get());
                 // Decide against the phase-start snapshot, then apply: the
@@ -1286,9 +1725,11 @@ impl RmbNetwork {
             EndpointHeight::At(bus.heights[j + 1])
         };
         let hop = bus.hop_upstream_node(ring, j).as_usize();
+        // A faulted segment reads as permanently occupied, so compaction
+        // migrates live buses around it (Fig. 7 conditions unchanged).
         let below_free = height
             .lower()
-            .map(|lo| self.seg(hop, lo.as_usize()).is_none())
+            .map(|lo| self.available(hop, lo.as_usize()))
             .unwrap_or(false);
         HopContext {
             height,
@@ -1324,13 +1765,13 @@ impl RmbNetwork {
         self.utilization.record(self.utilization());
         self.peak_virtual_buses = self.peak_virtual_buses.max(self.buses.len());
         self.now = self.now.next();
-        if self.checked {
+        if self.opts.checked {
             if let Err(v) = self.check_invariants() {
                 panic!("invariant violated at {}: {v}", self.now);
             }
             // Downward-only motion (§2.2): a hop's height never increases
             // while its virtual bus lives; extension only appends.
-            let mut next = std::collections::HashMap::with_capacity(self.buses.len());
+            let mut next = HashMap::with_capacity(self.buses.len());
             for bus in self.buses.values() {
                 let heights: Vec<u16> = bus.heights.iter().map(|h| h.index()).collect();
                 if let Some(prev) = self.height_history.get(&bus.id.get()) {
@@ -1351,7 +1792,9 @@ impl RmbNetwork {
     }
 
     fn occupy(&mut self, hop: usize, bus: BusIndex, id: VirtualBusId) {
-        let slot = &mut self.segments[hop * self.cfg.buses() as usize + bus.as_usize()];
+        let idx = hop * self.cfg.buses() as usize + bus.as_usize();
+        debug_assert_eq!(self.fault_count[idx], 0, "occupying a faulted segment");
+        let slot = &mut self.segments[idx];
         debug_assert!(slot.is_none(), "segment double-booked");
         *slot = Some(id);
         self.busy_segments += 1;
@@ -1359,11 +1802,16 @@ impl RmbNetwork {
     }
 
     fn release(&mut self, hop: usize, bus: BusIndex) {
-        let slot = &mut self.segments[hop * self.cfg.buses() as usize + bus.as_usize()];
+        let idx = hop * self.cfg.buses() as usize + bus.as_usize();
+        let slot = &mut self.segments[idx];
         debug_assert!(slot.is_some(), "releasing a free segment");
         *slot = None;
         self.busy_segments -= 1;
-        self.free_per_hop[hop] += 1;
+        // A segment that faulted under its occupant stays out of the
+        // availability pool; the free count comes back on repair.
+        if self.fault_count[idx] == 0 {
+            self.free_per_hop[hop] += 1;
+        }
     }
 
     fn trace(
@@ -1431,6 +1879,7 @@ mod slab_tests {
             parked_since: 0,
             taps: Vec::new(),
             armed_taps: 0,
+            fault_killed: false,
             state: BusState::Establishing,
         }
     }

@@ -1,0 +1,224 @@
+//! Simulation options and the network builder.
+//!
+//! Historically the simulator was configured through post-construction
+//! setter toggles (`set_compaction_mode`, `set_fast_forward`, ...). Those
+//! remain as deprecated shims; the supported surface is now a typed
+//! builder consumed at construction:
+//!
+//! ```
+//! use rmb_core::RmbNetwork;
+//! use rmb_types::RmbConfig;
+//!
+//! let cfg = RmbConfig::new(8, 2)?;
+//! let net = RmbNetwork::builder(cfg).checked(true).recording(true).build();
+//! assert!(net.is_quiescent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`SimOptions`] is the one internal options struct everything delegates
+//! to: the builder fills it, the deprecated setters mutate it, and the
+//! network reads it.
+
+use crate::network::{CompactionMode, RmbNetwork};
+use rmb_types::{FaultPlan, RmbConfig};
+
+/// Runtime options of a simulation, distinct from the physical
+/// configuration in [`RmbConfig`]: everything here changes how the run is
+/// *driven* (compaction engine, fault schedule, instrumentation), not what
+/// the machine *is*.
+///
+/// Construct via [`Default`] and adjust fields, or — preferably — go
+/// through [`RmbNetwork::builder`]. The struct is `#[non_exhaustive]`, so
+/// options can grow without breaking downstream code.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SimOptions {
+    /// Which compaction engine drives the odd/even cycles.
+    pub compaction_mode: CompactionMode,
+    /// Skip ahead over stretches of ticks with no due work (synchronous
+    /// mode only). On by default.
+    pub fast_forward: bool,
+    /// Panic on the first invariant violation after every tick (for tests
+    /// and small fidelity runs).
+    pub checked: bool,
+    /// Record protocol trace events from the first tick.
+    pub recording: bool,
+    /// Deterministic schedule of segment / link / INC failures. Empty by
+    /// default (the happy path).
+    pub fault_plan: FaultPlan,
+    /// Seed of the stream that jitters fault-retry backoff. Only drawn
+    /// when a circuit is actually fault-killed, so fault-free runs are
+    /// unaffected by it.
+    pub fault_seed: u64,
+    /// Abort a request after this many refusals (`None` = retry forever,
+    /// the classic protocol behaviour).
+    pub max_retries: Option<u32>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            compaction_mode: CompactionMode::Synchronous,
+            fast_forward: true,
+            checked: false,
+            recording: false,
+            fault_plan: FaultPlan::new(),
+            fault_seed: 0,
+            max_retries: None,
+        }
+    }
+}
+
+/// Builds an [`RmbNetwork`] from a configuration plus [`SimOptions`].
+///
+/// Obtained from [`RmbNetwork::builder`]; every method takes and returns
+/// `self` so options chain fluently.
+#[derive(Debug, Clone)]
+pub struct RmbNetworkBuilder {
+    cfg: RmbConfig,
+    opts: SimOptions,
+}
+
+impl RmbNetworkBuilder {
+    pub(crate) fn new(cfg: RmbConfig) -> Self {
+        RmbNetworkBuilder {
+            cfg,
+            opts: SimOptions::default(),
+        }
+    }
+
+    /// Selects the compaction engine (synchronous lockstep or per-INC
+    /// handshake controllers).
+    #[must_use]
+    pub fn compaction_mode(mut self, mode: CompactionMode) -> Self {
+        self.opts.compaction_mode = mode;
+        self
+    }
+
+    /// Enables or disables the idle-tick fast-forward (on by default).
+    #[must_use]
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.opts.fast_forward = on;
+        self
+    }
+
+    /// Enables per-tick invariant checking (panics on violation).
+    #[must_use]
+    pub fn checked(mut self, on: bool) -> Self {
+        self.opts.checked = on;
+        self
+    }
+
+    /// Starts recording protocol trace events from the first tick.
+    #[must_use]
+    pub fn recording(mut self, on: bool) -> Self {
+        self.opts.recording = on;
+        self
+    }
+
+    /// Installs a deterministic fault schedule.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.opts.fault_plan = plan;
+        self
+    }
+
+    /// Seeds the fault-retry jitter stream.
+    #[must_use]
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.opts.fault_seed = seed;
+        self
+    }
+
+    /// Bounds retries: a request refused more than `limit` times is
+    /// aborted (and counted in [`RunReport::aborted`]).
+    ///
+    /// [`RunReport::aborted`]: crate::RunReport::aborted
+    #[must_use]
+    pub fn max_retries(mut self, limit: u32) -> Self {
+        self.opts.max_retries = Some(limit);
+        self
+    }
+
+    /// The options accumulated so far.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Constructs the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handshake mode's `periods` length differs from `N` or
+    /// contains a zero, or if the fault plan names nodes or buses outside
+    /// the ring (see [`FaultPlan::validate`]).
+    #[must_use]
+    pub fn build(self) -> RmbNetwork {
+        RmbNetwork::with_options(self.cfg, self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmb_types::{BusIndex, NodeId};
+
+    #[test]
+    fn defaults_match_the_classic_network() {
+        let opts = SimOptions::default();
+        assert_eq!(opts.compaction_mode, CompactionMode::Synchronous);
+        assert!(opts.fast_forward);
+        assert!(!opts.checked);
+        assert!(!opts.recording);
+        assert!(opts.fault_plan.is_empty());
+        assert_eq!(opts.max_retries, None);
+    }
+
+    #[test]
+    fn builder_chains_into_options() {
+        let cfg = RmbConfig::new(8, 2).unwrap();
+        let plan = FaultPlan::new().segment_stuck(5, NodeId::new(1), BusIndex::new(0), None);
+        let b = RmbNetworkBuilder::new(cfg)
+            .fast_forward(false)
+            .checked(true)
+            .recording(true)
+            .fault_plan(plan.clone())
+            .fault_seed(7)
+            .max_retries(3);
+        let o = b.options();
+        assert!(!o.fast_forward);
+        assert!(o.checked);
+        assert!(o.recording);
+        assert_eq!(o.fault_plan, plan);
+        assert_eq!(o.fault_seed, 7);
+        assert_eq!(o.max_retries, Some(3));
+        let net = b.build();
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation period per INC")]
+    fn build_rejects_wrong_period_count() {
+        let cfg = RmbConfig::new(8, 2).unwrap();
+        let _ = RmbNetworkBuilder::new(cfg)
+            .compaction_mode(CompactionMode::Handshake { periods: vec![1; 3] })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "periods must be positive")]
+    fn build_rejects_zero_periods() {
+        let cfg = RmbConfig::new(4, 2).unwrap();
+        let _ = RmbNetworkBuilder::new(cfg)
+            .compaction_mode(CompactionMode::Handshake { periods: vec![1, 0, 1, 1] })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn build_rejects_out_of_range_fault_plan() {
+        let cfg = RmbConfig::new(4, 2).unwrap();
+        let plan = FaultPlan::new().inc_dead(0, NodeId::new(9), None);
+        let _ = RmbNetworkBuilder::new(cfg).fault_plan(plan).build();
+    }
+}

@@ -121,6 +121,9 @@ pub struct VirtualBus {
     /// How many of `taps` have taken their receive port so far (taps are
     /// armed in order as the header passes them).
     pub armed_taps: usize,
+    /// `true` when this attempt was torn down by a fault (as opposed to a
+    /// destination `Nack`); selects the bounded-exponential retry backoff.
+    pub fault_killed: bool,
     /// Lifecycle state.
     pub state: BusState,
 }
@@ -172,6 +175,7 @@ mod tests {
             parked_since: 0,
             taps: Vec::new(),
             armed_taps: 0,
+            fault_killed: false,
             state: BusState::Establishing,
         }
     }

@@ -20,8 +20,7 @@ fn run_both(n: u32, k: u16, msgs: &[MessageSpec]) -> (Outcome, Outcome) {
     let cap = 60_000;
     let cfg = RmbConfig::new(n, k).unwrap();
 
-    let mut reference = RmbNetwork::new(cfg);
-    reference.set_checked(true);
+    let mut reference = RmbNetwork::builder(cfg).checked(true).build();
     for m in msgs {
         reference.submit(*m).unwrap();
     }

@@ -5,9 +5,9 @@ use rmb_core::RmbNetwork;
 use rmb_types::{MessageSpec, NodeId, ProtocolError, RmbConfig};
 
 fn net(n: u32, k: u16) -> RmbNetwork {
-    let mut net = RmbNetwork::new(RmbConfig::new(n, k).unwrap());
-    net.set_checked(true);
-    net
+    RmbNetwork::builder(RmbConfig::new(n, k).unwrap())
+        .checked(true)
+        .build()
 }
 
 fn nodes(ids: &[u32]) -> Vec<NodeId> {
@@ -115,7 +115,7 @@ fn multicast_validation() {
     // Empty destination set.
     assert!(matches!(
         net.submit_multicast(NodeId::new(0), &[], 1, 0),
-        Err(ProtocolError::SelfMessage(_))
+        Err(ProtocolError::SelfMessage { .. })
     ));
     // Source among destinations.
     assert!(net
@@ -128,7 +128,7 @@ fn multicast_validation() {
     // Out-of-ring node.
     assert!(matches!(
         net.submit_multicast(NodeId::new(0), &nodes(&[9]), 1, 0),
-        Err(ProtocolError::UnknownNode(_))
+        Err(ProtocolError::UnknownNode { .. })
     ));
     // A single destination degenerates to unicast and works.
     net.submit_multicast(NodeId::new(0), &nodes(&[4]), 4, 0)

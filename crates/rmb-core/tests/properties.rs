@@ -6,7 +6,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rmb_core::{CompactionMode, RmbNetwork};
+use rmb_core::{CompactionMode, RmbNetwork, RmbNetworkBuilder};
 use rmb_types::{MessageSpec, NodeId, RmbConfig};
 
 /// A generated workload item: (source, destination offset, flits, delay).
@@ -22,15 +22,17 @@ fn build_msgs(n: u32, raw: &[RawMsg]) -> Vec<MessageSpec> {
         .collect()
 }
 
-fn checked_net(n: u32, k: u16) -> RmbNetwork {
+fn checked_builder(n: u32, k: u16) -> RmbNetworkBuilder {
     let cfg = RmbConfig::builder(n, k)
         .head_timeout(8 * n as u64)
         .retry_backoff(n as u64)
         .build()
         .unwrap();
-    let mut net = RmbNetwork::new(cfg);
-    net.set_checked(true);
-    net
+    RmbNetwork::builder(cfg).checked(true)
+}
+
+fn checked_net(n: u32, k: u16) -> RmbNetwork {
+    checked_builder(n, k).build()
 }
 
 proptest! {
@@ -104,10 +106,11 @@ proptest! {
         sync.submit_all(msgs.clone()).unwrap();
         let r_sync = sync.run_to_quiescence(4_000_000);
 
-        let mut hs = checked_net(n, k);
-        hs.set_compaction_mode(CompactionMode::Handshake {
-            periods: vec![1; n as usize],
-        });
+        let mut hs = checked_builder(n, k)
+            .compaction_mode(CompactionMode::Handshake {
+                periods: vec![1; n as usize],
+            })
+            .build();
         hs.submit_all(msgs).unwrap();
         let r_hs = hs.run_to_quiescence(4_000_000);
 
@@ -130,8 +133,9 @@ proptest! {
             .map(|i| periods[i % periods.len()])
             .collect();
         let msgs = build_msgs(n, &raw);
-        let mut net = checked_net(n, k);
-        net.set_compaction_mode(CompactionMode::Handshake { periods });
+        let mut net = checked_builder(n, k)
+            .compaction_mode(CompactionMode::Handshake { periods })
+            .build();
         net.submit_all(msgs.clone()).unwrap();
         let mut max_skew = 0;
         // Sample the skew during the run, not only at the end.
@@ -208,8 +212,7 @@ proptest! {
             })
             .collect();
         let run = |fast: bool| {
-            let mut net = checked_net(n, k);
-            net.set_fast_forward(fast);
+            let mut net = checked_builder(n, k).fast_forward(fast).build();
             net.submit_all(msgs.iter().copied()).unwrap();
             let r = net.run_to_quiescence(1_000_000);
             let log: Vec<_> = net

@@ -8,9 +8,9 @@ use rmb_types::{
 };
 
 fn net(n: u32, k: u16) -> RmbNetwork {
-    let mut net = RmbNetwork::new(RmbConfig::new(n, k).unwrap());
-    net.set_checked(true);
-    net
+    RmbNetwork::builder(RmbConfig::new(n, k).unwrap())
+        .checked(true)
+        .build()
 }
 
 fn msg(src: u32, dst: u32, flits: u32) -> MessageSpec {
@@ -92,8 +92,7 @@ fn second_circuit_compacts_below_first() {
 #[test]
 fn without_compaction_top_bus_serialises_overlapping_requests() {
     let cfg = RmbConfig::builder(12, 3).compaction(false).build().unwrap();
-    let mut without = RmbNetwork::new(cfg);
-    without.set_checked(true);
+    let mut without = RmbNetwork::builder(cfg).checked(true).build();
     without.submit(msg(0, 8, 64)).unwrap();
     without.submit(msg(1, 7, 64)).unwrap();
     let r_without = without.run_to_quiescence(10_000);
@@ -182,8 +181,7 @@ fn multi_send_extension_allows_parallel_sends() {
         .max_concurrent_receives(2)
         .build()
         .unwrap();
-    let mut net = RmbNetwork::new(cfg);
-    net.set_checked(true);
+    let mut net = RmbNetwork::builder(cfg).checked(true).build();
     net.submit(msg(0, 4, 64)).unwrap();
     net.submit(msg(0, 5, 64)).unwrap();
     let mut max_seen = 0;
@@ -204,8 +202,7 @@ fn multi_send_extension_allows_parallel_sends() {
 fn per_flit_ack_mode_slows_but_delivers() {
     let run = |mode: AckMode| -> RunReport {
         let cfg = RmbConfig::builder(8, 2).ack_mode(mode).build().unwrap();
-        let mut net = RmbNetwork::new(cfg);
-        net.set_checked(true);
+        let mut net = RmbNetwork::builder(cfg).checked(true).build();
         net.submit(msg(0, 4, 32)).unwrap();
         net.run_to_quiescence(100_000)
     };
@@ -226,8 +223,7 @@ fn any_free_bus_ablation_delivers() {
         .insertion(InsertionPolicy::AnyFreeBus)
         .build()
         .unwrap();
-    let mut net = RmbNetwork::new(cfg);
-    net.set_checked(true);
+    let mut net = RmbNetwork::builder(cfg).checked(true).build();
     for s in 0..5 {
         net.submit(msg(s, s + 5, 16)).unwrap();
     }
@@ -300,10 +296,12 @@ fn handshake_mode_uniform_clocks_delivers_same_messages() {
     sync.submit_all(workload.clone()).unwrap();
     let r_sync = sync.run_to_quiescence(100_000);
 
-    let mut hs = net(12, 3);
-    hs.set_compaction_mode(CompactionMode::Handshake {
-        periods: vec![1; 12],
-    });
+    let mut hs = RmbNetwork::builder(RmbConfig::new(12, 3).unwrap())
+        .checked(true)
+        .compaction_mode(CompactionMode::Handshake {
+            periods: vec![1; 12],
+        })
+        .build();
     hs.submit_all(workload).unwrap();
     let r_hs = hs.run_to_quiescence(100_000);
 
@@ -314,10 +312,12 @@ fn handshake_mode_uniform_clocks_delivers_same_messages() {
 
 #[test]
 fn handshake_mode_with_skewed_clocks_obeys_lemma1_and_delivers() {
-    let mut hs = net(10, 3);
     // Wildly different activation periods: INC 0 is 7x slower than INC 5.
     let periods = vec![7, 1, 3, 2, 5, 1, 4, 2, 6, 3];
-    hs.set_compaction_mode(CompactionMode::Handshake { periods });
+    let mut hs = RmbNetwork::builder(RmbConfig::new(10, 3).unwrap())
+        .checked(true)
+        .compaction_mode(CompactionMode::Handshake { periods })
+        .build();
     for s in 0..5 {
         hs.submit(msg(s, s + 5, 32)).unwrap();
     }
@@ -389,8 +389,7 @@ fn saturation_with_head_timeout_eventually_drains() {
         .retry_backoff(16)
         .build()
         .unwrap();
-    let mut net = RmbNetwork::new(cfg);
-    net.set_checked(true);
+    let mut net = RmbNetwork::builder(cfg).checked(true).build();
     for s in 0..n {
         net.submit(msg(s, (s + n / 2) % n, 8)).unwrap();
     }
@@ -451,8 +450,10 @@ fn random_workload_keeps_invariants_and_drains() {
 #[test]
 fn trace_records_protocol_lifecycle() {
     use rmb_sim::trace::TraceKind;
-    let mut net = net(8, 2);
-    net.enable_recording();
+    let mut net = RmbNetwork::builder(RmbConfig::new(8, 2).unwrap())
+        .checked(true)
+        .recording(true)
+        .build();
     net.submit(msg(0, 3, 2)).unwrap();
     net.run_to_quiescence(1_000);
     let events = net.take_events();
@@ -490,19 +491,21 @@ mod builder_misuse {
     #[test]
     #[should_panic(expected = "one activation period per INC")]
     fn handshake_periods_must_match_ring() {
-        let mut n = net(8, 2);
-        n.set_compaction_mode(CompactionMode::Handshake {
-            periods: vec![1; 3],
-        });
+        let _ = RmbNetwork::builder(RmbConfig::new(8, 2).unwrap())
+            .compaction_mode(CompactionMode::Handshake {
+                periods: vec![1; 3],
+            })
+            .build();
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn handshake_periods_must_be_positive() {
-        let mut n = net(4, 2);
-        n.set_compaction_mode(CompactionMode::Handshake {
-            periods: vec![1, 0, 1, 1],
-        });
+        let _ = RmbNetwork::builder(RmbConfig::new(4, 2).unwrap())
+            .compaction_mode(CompactionMode::Handshake {
+                periods: vec![1, 0, 1, 1],
+            })
+            .build();
     }
 
     #[test]
@@ -512,5 +515,30 @@ mod builder_misuse {
         assert!(!cfg.compaction);
         let cfg2 = b.build().unwrap();
         assert!(cfg2.compaction);
+    }
+
+    /// The pre-builder setter surface still works (as deprecated shims
+    /// delegating to the same options struct the builder fills).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_configure_the_network() {
+        let mut net = RmbNetwork::new(RmbConfig::new(8, 2).unwrap());
+        net.set_checked(true);
+        net.set_fast_forward(false);
+        net.enable_recording();
+        net.set_compaction_mode(CompactionMode::Handshake {
+            periods: vec![1; 8],
+        });
+        assert!(net.options().checked);
+        assert!(!net.options().fast_forward);
+        assert!(net.options().recording);
+        assert!(matches!(
+            net.options().compaction_mode,
+            CompactionMode::Handshake { .. }
+        ));
+        net.submit(msg(0, 3, 2)).unwrap();
+        let report = net.run_to_quiescence(10_000);
+        assert_eq!(report.delivered, 1);
+        assert!(!net.take_events().is_empty(), "recording was enabled");
     }
 }

@@ -7,8 +7,7 @@ use rmb_types::{AckMode, MessageSpec, NodeId, RmbConfig};
 
 fn run_one(n: u32, k: u16, span_dst: u32, flits: u32, mode: AckMode) -> (u64, u64) {
     let cfg = RmbConfig::builder(n, k).ack_mode(mode).build().unwrap();
-    let mut net = RmbNetwork::new(cfg);
-    net.set_checked(true);
+    let mut net = RmbNetwork::builder(cfg).checked(true).build();
     net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(span_dst), flits))
         .unwrap();
     let report = net.run_to_quiescence(1_000_000);
@@ -82,8 +81,7 @@ fn small_window_throttles_to_w_per_round_trip() {
 #[test]
 fn stream_counters_are_consistent_every_tick() {
     let cfg = RmbConfig::new(10, 2).unwrap();
-    let mut net = RmbNetwork::new(cfg);
-    net.set_checked(true);
+    let mut net = RmbNetwork::builder(cfg).checked(true).build();
     net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(6), 40))
         .unwrap();
     let mut last_delivered = 0;

@@ -47,6 +47,15 @@ pub enum TraceKind {
     CycleSwitch,
     /// The final-flit acknowledgement removed the virtual bus.
     Teardown,
+    /// A scheduled fault activated (segment stuck, link cut, INC dead).
+    FaultInject,
+    /// A scheduled fault healed.
+    FaultRepair,
+    /// A live circuit was torn down because a fault struck a resource it
+    /// occupied or depended on.
+    FaultKill,
+    /// A request exhausted its retry budget and was dropped.
+    Abort,
 }
 
 impl fmt::Display for TraceKind {
@@ -60,6 +69,10 @@ impl fmt::Display for TraceKind {
             TraceKind::CompactMove => "compact-move",
             TraceKind::CycleSwitch => "cycle-switch",
             TraceKind::Teardown => "teardown",
+            TraceKind::FaultInject => "fault-inject",
+            TraceKind::FaultRepair => "fault-repair",
+            TraceKind::FaultKill => "fault-kill",
+            TraceKind::Abort => "abort",
         };
         f.write_str(s)
     }
@@ -195,5 +208,13 @@ mod tests {
             detail: String::new(),
         };
         assert_eq!(bare.to_string(), "t0 cycle-switch");
+    }
+
+    #[test]
+    fn fault_kinds_display_kebab_case() {
+        assert_eq!(TraceKind::FaultInject.to_string(), "fault-inject");
+        assert_eq!(TraceKind::FaultRepair.to_string(), "fault-repair");
+        assert_eq!(TraceKind::FaultKill.to_string(), "fault-kill");
+        assert_eq!(TraceKind::Abort.to_string(), "abort");
     }
 }

@@ -1,4 +1,11 @@
 //! Error types shared across the workspace.
+//!
+//! Both enums implement [`std::error::Error`] and a lowercase, period-free
+//! [`Display`](std::fmt::Display) style so they compose cleanly under
+//! `anyhow`-like wrappers ("while submitting: node n9 is outside the
+//! ring"). [`ProtocolError`] variants carry structured context — the
+//! request, hop and bus involved — so callers can react programmatically
+//! instead of parsing messages.
 
 use crate::ids::{BusIndex, NodeId, RequestId};
 use std::error::Error;
@@ -36,38 +43,180 @@ impl fmt::Display for ConfigError {
 impl Error for ConfigError {}
 
 /// Errors raised by protocol engines when asked to do something invalid.
+///
+/// Every variant is a struct with named fields; optional fields record
+/// context the engine had at hand (which request was being served, at
+/// which hop) without forcing every call site to fabricate it. Use the
+/// constructor shorthands ([`ProtocolError::unknown_node`] and friends)
+/// plus [`ProtocolError::with_request`] to build values tersely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ProtocolError {
     /// A node identifier lies outside the ring.
-    UnknownNode(NodeId),
+    UnknownNode {
+        /// The out-of-range node.
+        node: NodeId,
+        /// The request being validated, when one was already assigned.
+        request: Option<RequestId>,
+    },
     /// A bus index lies outside `0..k`.
-    UnknownBus(BusIndex),
+    UnknownBus {
+        /// The out-of-range bus.
+        bus: BusIndex,
+        /// The hop at which the index was presented, when known.
+        hop: Option<NodeId>,
+    },
     /// A request identifier is not live in the engine.
-    UnknownRequest(RequestId),
+    UnknownRequest {
+        /// The stale or foreign request.
+        request: RequestId,
+    },
     /// A message names the same node as source and destination; the ring
     /// RMB only carries traffic between distinct nodes.
-    SelfMessage(NodeId),
+    SelfMessage {
+        /// The node talking to itself.
+        node: NodeId,
+        /// The request being validated, when one was already assigned.
+        request: Option<RequestId>,
+    },
     /// An operation would violate the single connection per port rule.
     PortBusy {
         /// Node whose port is busy.
         node: NodeId,
         /// The contended bus segment.
         bus: BusIndex,
+        /// The request that lost the port, when known.
+        request: Option<RequestId>,
     },
+}
+
+impl ProtocolError {
+    /// A node outside the ring, with no request context yet.
+    pub fn unknown_node(node: NodeId) -> Self {
+        ProtocolError::UnknownNode { node, request: None }
+    }
+
+    /// A bus index outside the array, with no hop context yet.
+    pub fn unknown_bus(bus: BusIndex) -> Self {
+        ProtocolError::UnknownBus { bus, hop: None }
+    }
+
+    /// A request that is not live.
+    pub fn unknown_request(request: RequestId) -> Self {
+        ProtocolError::UnknownRequest { request }
+    }
+
+    /// A self-addressed message, with no request context yet.
+    pub fn self_message(node: NodeId) -> Self {
+        ProtocolError::SelfMessage { node, request: None }
+    }
+
+    /// A busy port, with no request context yet.
+    pub fn port_busy(node: NodeId, bus: BusIndex) -> Self {
+        ProtocolError::PortBusy {
+            node,
+            bus,
+            request: None,
+        }
+    }
+
+    /// Attaches a request id to variants that can carry one; a no-op for
+    /// the rest.
+    #[must_use]
+    pub fn with_request(mut self, id: RequestId) -> Self {
+        match &mut self {
+            ProtocolError::UnknownNode { request, .. }
+            | ProtocolError::SelfMessage { request, .. }
+            | ProtocolError::PortBusy { request, .. } => *request = Some(id),
+            ProtocolError::UnknownBus { .. } | ProtocolError::UnknownRequest { .. } => {}
+        }
+        self
+    }
+
+    /// Attaches a hop to [`ProtocolError::UnknownBus`]; a no-op for the
+    /// rest.
+    #[must_use]
+    pub fn at_hop(mut self, at: NodeId) -> Self {
+        if let ProtocolError::UnknownBus { hop, .. } = &mut self {
+            *hop = Some(at);
+        }
+        self
+    }
+
+    /// The request involved, when the variant recorded one.
+    pub fn request(&self) -> Option<RequestId> {
+        match self {
+            ProtocolError::UnknownNode { request, .. }
+            | ProtocolError::SelfMessage { request, .. }
+            | ProtocolError::PortBusy { request, .. } => *request,
+            ProtocolError::UnknownRequest { request } => Some(*request),
+            ProtocolError::UnknownBus { .. } => None,
+        }
+    }
+
+    /// The node involved, when the variant names one.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            ProtocolError::UnknownNode { node, .. }
+            | ProtocolError::SelfMessage { node, .. }
+            | ProtocolError::PortBusy { node, .. } => Some(*node),
+            ProtocolError::UnknownBus { hop, .. } => *hop,
+            ProtocolError::UnknownRequest { .. } => None,
+        }
+    }
+
+    /// The bus involved, when the variant names one.
+    pub fn bus(&self) -> Option<BusIndex> {
+        match self {
+            ProtocolError::UnknownBus { bus, .. } | ProtocolError::PortBusy { bus, .. } => {
+                Some(*bus)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Formats `" for r3"` when a request id is present, nothing otherwise.
+struct ForRequest(Option<RequestId>);
+
+impl fmt::Display for ForRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(r) => write!(f, " for {r}"),
+            None => Ok(()),
+        }
+    }
 }
 
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtocolError::UnknownNode(n) => write!(f, "node {n} is outside the ring"),
-            ProtocolError::UnknownBus(b) => write!(f, "bus {b} is outside the bus array"),
-            ProtocolError::UnknownRequest(r) => write!(f, "request {r} is not live"),
-            ProtocolError::SelfMessage(n) => {
-                write!(f, "message from {n} to itself is not routable")
+            ProtocolError::UnknownNode { node, request } => {
+                write!(f, "node {node} is outside the ring{}", ForRequest(*request))
             }
-            ProtocolError::PortBusy { node, bus } => {
-                write!(f, "port for {bus} at {node} is already connected")
+            ProtocolError::UnknownBus { bus, hop } => {
+                write!(f, "bus {bus} is outside the bus array")?;
+                if let Some(h) = hop {
+                    write!(f, " at {h}")?;
+                }
+                Ok(())
+            }
+            ProtocolError::UnknownRequest { request } => {
+                write!(f, "request {request} is not live")
+            }
+            ProtocolError::SelfMessage { node, request } => {
+                write!(
+                    f,
+                    "message from {node} to itself is not routable{}",
+                    ForRequest(*request)
+                )
+            }
+            ProtocolError::PortBusy { node, bus, request } => {
+                write!(
+                    f,
+                    "port for {bus} at {node} is already connected{}",
+                    ForRequest(*request)
+                )
             }
         }
     }
@@ -86,15 +235,17 @@ mod tests {
             ConfigError::NoBuses.to_string(),
             ConfigError::NoSendSlots.to_string(),
             ConfigError::NoReceiveSlots.to_string(),
-            ProtocolError::UnknownNode(NodeId::new(9)).to_string(),
-            ProtocolError::UnknownBus(BusIndex::new(9)).to_string(),
-            ProtocolError::UnknownRequest(RequestId::new(9)).to_string(),
-            ProtocolError::SelfMessage(NodeId::new(1)).to_string(),
-            ProtocolError::PortBusy {
-                node: NodeId::new(1),
-                bus: BusIndex::new(0),
-            }
-            .to_string(),
+            ProtocolError::unknown_node(NodeId::new(9)).to_string(),
+            ProtocolError::unknown_bus(BusIndex::new(9)).to_string(),
+            ProtocolError::unknown_request(RequestId::new(9)).to_string(),
+            ProtocolError::self_message(NodeId::new(1)).to_string(),
+            ProtocolError::port_busy(NodeId::new(1), BusIndex::new(0)).to_string(),
+            ProtocolError::port_busy(NodeId::new(1), BusIndex::new(0))
+                .with_request(RequestId::new(4))
+                .to_string(),
+            ProtocolError::unknown_bus(BusIndex::new(7))
+                .at_hop(NodeId::new(2))
+                .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
@@ -104,9 +255,27 @@ mod tests {
     }
 
     #[test]
+    fn context_is_carried_and_queryable() {
+        let e = ProtocolError::unknown_node(NodeId::new(9)).with_request(RequestId::new(3));
+        assert_eq!(e.request(), Some(RequestId::new(3)));
+        assert_eq!(e.node(), Some(NodeId::new(9)));
+        assert_eq!(e.bus(), None);
+        assert!(e.to_string().contains("r3"));
+
+        let e = ProtocolError::port_busy(NodeId::new(1), BusIndex::new(2));
+        assert_eq!(e.bus(), Some(BusIndex::new(2)));
+        assert_eq!(e.request(), None);
+
+        // `with_request` is a no-op for variants without a request slot.
+        let e = ProtocolError::unknown_bus(BusIndex::new(5)).with_request(RequestId::new(1));
+        assert_eq!(e.request(), None);
+    }
+
+    #[test]
     fn errors_are_std_errors() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
         assert_err::<ProtocolError>();
+        assert_err::<crate::fault::FaultPlanError>();
     }
 }

@@ -26,6 +26,7 @@
 
 mod config;
 mod error;
+mod fault;
 mod flit;
 mod ids;
 pub mod json;
@@ -33,6 +34,7 @@ mod message;
 
 pub use config::{AckMode, InsertionPolicy, NodeConfig, RmbConfig, RmbConfigBuilder};
 pub use error::{ConfigError, ProtocolError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use flit::{Ack, AckKind, Flit, FlitKind, FlitPayload};
 pub use ids::{BusIndex, NodeId, RequestId, RingSize, VirtualBusId};
 pub use message::{DeliveredMessage, MessageSpec, MessageStatus};

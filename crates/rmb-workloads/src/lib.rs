@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 mod arrival;
+mod faults;
 mod permutation;
 mod sizes;
 mod suite;
 
 pub use arrival::{ArrivalProcess, BernoulliArrivals};
+pub use faults::FaultScenario;
 pub use permutation::{Permutation, PermutationKind};
 pub use sizes::SizeDistribution;
 pub use suite::{WorkloadConfig, WorkloadSuite};

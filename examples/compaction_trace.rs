@@ -12,8 +12,7 @@ use rmb::types::{MessageSpec, NodeId, RmbConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = RmbConfig::new(12, 4)?;
-    let mut net = RmbNetwork::new(cfg);
-    net.enable_recording();
+    let mut net = RmbNetwork::builder(cfg).recording(true).build();
 
     // Three long-running circuits sharing hops 4..6, staggered so each
     // finds the top bus free thanks to its predecessor's compaction.

@@ -10,8 +10,7 @@ use rmb::types::{MessageSpec, NodeId, RmbConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 12-node ring with 3 parallel bus segments between adjacent INCs.
     let cfg = RmbConfig::new(12, 3)?;
-    let mut net = RmbNetwork::new(cfg);
-    net.enable_recording();
+    let mut net = RmbNetwork::builder(cfg).recording(true).build();
 
     // One 8-flit message from node 2 to node 9 (7 clockwise hops).
     let request = net.submit(MessageSpec::new(NodeId::new(2), NodeId::new(9), 8))?;

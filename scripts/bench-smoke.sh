@@ -9,11 +9,23 @@ cd "$(dirname "$0")/.."
 echo "== clippy (perf lints as errors) =="
 cargo clippy --workspace --all-targets -- -D clippy::perf
 
+echo "== clippy (all warnings as errors on the fault/builder path) =="
+cargo clippy -p rmb-types -p rmb-workloads -- -D warnings
+
 echo "== release build =="
 cargo build --release -p rmb-bench --benches
 
 echo "== rmb_protocol + cycle_machine (short window) =="
 CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench rmb_protocol
 CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench cycle_machine
+
+echo "== fault-tolerance sweep (tiny size) =="
+ft_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \
+  --exp fault-tolerance --n 12 --k 3 --flits 4 --json)"
+grep -q '"experiment": "fault-tolerance"' <<<"$ft_json"
+if grep -q '"stalled": true' <<<"$ft_json"; then
+  echo "fault-tolerance sweep stalled" >&2
+  exit 1
+fi
 
 echo "bench smoke OK"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-6b7e54237aa55ae0.d: crates/rmb-core/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-6b7e54237aa55ae0.rmeta: crates/rmb-core/tests/faults.rs Cargo.toml
+
+crates/rmb-core/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-f8f7b177b4e92a8c.d: crates/rmb-core/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-f8f7b177b4e92a8c: crates/rmb-core/tests/faults.rs
+
+crates/rmb-core/tests/faults.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/rmb_bench-dd119d3321a7dc1d.d: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/rmb_bench-dd119d3321a7dc1d.d: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/fault_tolerance.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/librmb_bench-dd119d3321a7dc1d.rmeta: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/librmb_bench-dd119d3321a7dc1d.rmeta: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/fault_tolerance.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs Cargo.toml
 
 crates/rmb-bench/src/lib.rs:
 crates/rmb-bench/src/experiments/mod.rs:
@@ -9,6 +9,7 @@ crates/rmb-bench/src/experiments/compare.rs:
 crates/rmb-bench/src/experiments/competitive.rs:
 crates/rmb-bench/src/experiments/deadlock.rs:
 crates/rmb-bench/src/experiments/extensions.rs:
+crates/rmb-bench/src/experiments/fault_tolerance.rs:
 crates/rmb-bench/src/experiments/lemma1.rs:
 crates/rmb-bench/src/experiments/load.rs:
 crates/rmb-bench/src/experiments/permutation.rs:

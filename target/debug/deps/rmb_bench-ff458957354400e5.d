@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/rmb_bench-ff458957354400e5.d: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs
+/root/repo/target/debug/deps/rmb_bench-ff458957354400e5.d: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/fault_tolerance.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs
 
-/root/repo/target/debug/deps/librmb_bench-ff458957354400e5.rlib: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs
+/root/repo/target/debug/deps/librmb_bench-ff458957354400e5.rlib: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/fault_tolerance.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs
 
-/root/repo/target/debug/deps/librmb_bench-ff458957354400e5.rmeta: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs
+/root/repo/target/debug/deps/librmb_bench-ff458957354400e5.rmeta: crates/rmb-bench/src/lib.rs crates/rmb-bench/src/experiments/mod.rs crates/rmb-bench/src/experiments/ablation.rs crates/rmb-bench/src/experiments/compare.rs crates/rmb-bench/src/experiments/competitive.rs crates/rmb-bench/src/experiments/deadlock.rs crates/rmb-bench/src/experiments/extensions.rs crates/rmb-bench/src/experiments/fault_tolerance.rs crates/rmb-bench/src/experiments/lemma1.rs crates/rmb-bench/src/experiments/load.rs crates/rmb-bench/src/experiments/permutation.rs crates/rmb-bench/src/experiments/scaling.rs crates/rmb-bench/src/experiments/theorem1.rs crates/rmb-bench/src/figures.rs crates/rmb-bench/src/rows.rs crates/rmb-bench/src/tables.rs
 
 crates/rmb-bench/src/lib.rs:
 crates/rmb-bench/src/experiments/mod.rs:
@@ -11,6 +11,7 @@ crates/rmb-bench/src/experiments/compare.rs:
 crates/rmb-bench/src/experiments/competitive.rs:
 crates/rmb-bench/src/experiments/deadlock.rs:
 crates/rmb-bench/src/experiments/extensions.rs:
+crates/rmb-bench/src/experiments/fault_tolerance.rs:
 crates/rmb-bench/src/experiments/lemma1.rs:
 crates/rmb-bench/src/experiments/load.rs:
 crates/rmb-bench/src/experiments/permutation.rs:

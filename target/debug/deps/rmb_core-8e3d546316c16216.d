@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/rmb_core-8e3d546316c16216.d: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
+/root/repo/target/debug/deps/rmb_core-8e3d546316c16216.d: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/options.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
 
-/root/repo/target/debug/deps/rmb_core-8e3d546316c16216: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
+/root/repo/target/debug/deps/rmb_core-8e3d546316c16216: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/options.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
 
 crates/rmb-core/src/lib.rs:
 crates/rmb-core/src/compaction.rs:
@@ -9,6 +9,7 @@ crates/rmb-core/src/inc.rs:
 crates/rmb-core/src/invariants.rs:
 crates/rmb-core/src/microsim.rs:
 crates/rmb-core/src/network.rs:
+crates/rmb-core/src/options.rs:
 crates/rmb-core/src/render.rs:
 crates/rmb-core/src/status.rs:
 crates/rmb-core/src/virtual_bus.rs:

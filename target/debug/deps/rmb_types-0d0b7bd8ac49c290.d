@@ -1,15 +1,16 @@
-/root/repo/target/debug/deps/rmb_types-0d0b7bd8ac49c290.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
+/root/repo/target/debug/deps/rmb_types-0d0b7bd8ac49c290.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
 
-/root/repo/target/debug/deps/librmb_types-0d0b7bd8ac49c290.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
+/root/repo/target/debug/deps/librmb_types-0d0b7bd8ac49c290.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
 
 crates/rmb-types/src/lib.rs:
 crates/rmb-types/src/config.rs:
 crates/rmb-types/src/error.rs:
+crates/rmb-types/src/fault.rs:
 crates/rmb-types/src/flit.rs:
 crates/rmb-types/src/ids.rs:
 crates/rmb-types/src/json.rs:
 crates/rmb-types/src/message.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/rmb_types-21b7042f3f5196fb.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/debug/deps/rmb_types-21b7042f3f5196fb.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
-/root/repo/target/debug/deps/librmb_types-21b7042f3f5196fb.rlib: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/debug/deps/librmb_types-21b7042f3f5196fb.rlib: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
-/root/repo/target/debug/deps/librmb_types-21b7042f3f5196fb.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/debug/deps/librmb_types-21b7042f3f5196fb.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
 crates/rmb-types/src/lib.rs:
 crates/rmb-types/src/config.rs:
 crates/rmb-types/src/error.rs:
+crates/rmb-types/src/fault.rs:
 crates/rmb-types/src/flit.rs:
 crates/rmb-types/src/ids.rs:
 crates/rmb-types/src/json.rs:

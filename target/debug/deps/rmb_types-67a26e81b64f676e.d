@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/rmb_types-67a26e81b64f676e.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/debug/deps/rmb_types-67a26e81b64f676e.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
-/root/repo/target/debug/deps/rmb_types-67a26e81b64f676e: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/debug/deps/rmb_types-67a26e81b64f676e: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
 crates/rmb-types/src/lib.rs:
 crates/rmb-types/src/config.rs:
 crates/rmb-types/src/error.rs:
+crates/rmb-types/src/fault.rs:
 crates/rmb-types/src/flit.rs:
 crates/rmb-types/src/ids.rs:
 crates/rmb-types/src/json.rs:

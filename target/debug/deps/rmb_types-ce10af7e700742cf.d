@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/rmb_types-ce10af7e700742cf.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
+/root/repo/target/debug/deps/rmb_types-ce10af7e700742cf.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
 
-/root/repo/target/debug/deps/librmb_types-ce10af7e700742cf.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
+/root/repo/target/debug/deps/librmb_types-ce10af7e700742cf.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs Cargo.toml
 
 crates/rmb-types/src/lib.rs:
 crates/rmb-types/src/config.rs:
 crates/rmb-types/src/error.rs:
+crates/rmb-types/src/fault.rs:
 crates/rmb-types/src/flit.rs:
 crates/rmb-types/src/ids.rs:
 crates/rmb-types/src/json.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/rmb_workloads-43ce0442ae3fdeaa.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/rmb_workloads-43ce0442ae3fdeaa.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
 
-/root/repo/target/debug/deps/librmb_workloads-43ce0442ae3fdeaa.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/librmb_workloads-43ce0442ae3fdeaa.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
 
 crates/rmb-workloads/src/lib.rs:
 crates/rmb-workloads/src/arrival.rs:
+crates/rmb-workloads/src/faults.rs:
 crates/rmb-workloads/src/permutation.rs:
 crates/rmb-workloads/src/sizes.rs:
 crates/rmb-workloads/src/suite.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/rmb_workloads-4831b9d3186fe29b.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/debug/deps/rmb_workloads-4831b9d3186fe29b.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
-/root/repo/target/debug/deps/rmb_workloads-4831b9d3186fe29b: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/debug/deps/rmb_workloads-4831b9d3186fe29b: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
 crates/rmb-workloads/src/lib.rs:
 crates/rmb-workloads/src/arrival.rs:
+crates/rmb-workloads/src/faults.rs:
 crates/rmb-workloads/src/permutation.rs:
 crates/rmb-workloads/src/sizes.rs:
 crates/rmb-workloads/src/suite.rs:

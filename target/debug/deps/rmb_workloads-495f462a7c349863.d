@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/rmb_workloads-495f462a7c349863.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/rmb_workloads-495f462a7c349863.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
 
-/root/repo/target/debug/deps/librmb_workloads-495f462a7c349863.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/librmb_workloads-495f462a7c349863.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs Cargo.toml
 
 crates/rmb-workloads/src/lib.rs:
 crates/rmb-workloads/src/arrival.rs:
+crates/rmb-workloads/src/faults.rs:
 crates/rmb-workloads/src/permutation.rs:
 crates/rmb-workloads/src/sizes.rs:
 crates/rmb-workloads/src/suite.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/rmb_workloads-d5ac1dcd538ace07.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/debug/deps/rmb_workloads-d5ac1dcd538ace07.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
-/root/repo/target/debug/deps/librmb_workloads-d5ac1dcd538ace07.rlib: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/debug/deps/librmb_workloads-d5ac1dcd538ace07.rlib: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
-/root/repo/target/debug/deps/librmb_workloads-d5ac1dcd538ace07.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/debug/deps/librmb_workloads-d5ac1dcd538ace07.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
 crates/rmb-workloads/src/lib.rs:
 crates/rmb-workloads/src/arrival.rs:
+crates/rmb-workloads/src/faults.rs:
 crates/rmb-workloads/src/permutation.rs:
 crates/rmb-workloads/src/sizes.rs:
 crates/rmb-workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/readme_fault_check-8d51420f94e8ef62.d: examples/readme_fault_check.rs
+
+/root/repo/target/debug/examples/readme_fault_check-8d51420f94e8ef62: examples/readme_fault_check.rs
+
+examples/readme_fault_check.rs:

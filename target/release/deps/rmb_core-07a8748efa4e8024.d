@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/rmb_core-07a8748efa4e8024.d: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
+/root/repo/target/release/deps/rmb_core-07a8748efa4e8024.d: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/options.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
 
-/root/repo/target/release/deps/librmb_core-07a8748efa4e8024.rlib: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
+/root/repo/target/release/deps/librmb_core-07a8748efa4e8024.rlib: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/options.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
 
-/root/repo/target/release/deps/librmb_core-07a8748efa4e8024.rmeta: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
+/root/repo/target/release/deps/librmb_core-07a8748efa4e8024.rmeta: crates/rmb-core/src/lib.rs crates/rmb-core/src/compaction.rs crates/rmb-core/src/cycle.rs crates/rmb-core/src/inc.rs crates/rmb-core/src/invariants.rs crates/rmb-core/src/microsim.rs crates/rmb-core/src/network.rs crates/rmb-core/src/options.rs crates/rmb-core/src/render.rs crates/rmb-core/src/status.rs crates/rmb-core/src/virtual_bus.rs
 
 crates/rmb-core/src/lib.rs:
 crates/rmb-core/src/compaction.rs:
@@ -11,6 +11,7 @@ crates/rmb-core/src/inc.rs:
 crates/rmb-core/src/invariants.rs:
 crates/rmb-core/src/microsim.rs:
 crates/rmb-core/src/network.rs:
+crates/rmb-core/src/options.rs:
 crates/rmb-core/src/render.rs:
 crates/rmb-core/src/status.rs:
 crates/rmb-core/src/virtual_bus.rs:

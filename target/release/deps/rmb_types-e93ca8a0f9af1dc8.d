@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/rmb_types-e93ca8a0f9af1dc8.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/release/deps/rmb_types-e93ca8a0f9af1dc8.d: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
-/root/repo/target/release/deps/librmb_types-e93ca8a0f9af1dc8.rlib: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/release/deps/librmb_types-e93ca8a0f9af1dc8.rlib: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
-/root/repo/target/release/deps/librmb_types-e93ca8a0f9af1dc8.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
+/root/repo/target/release/deps/librmb_types-e93ca8a0f9af1dc8.rmeta: crates/rmb-types/src/lib.rs crates/rmb-types/src/config.rs crates/rmb-types/src/error.rs crates/rmb-types/src/fault.rs crates/rmb-types/src/flit.rs crates/rmb-types/src/ids.rs crates/rmb-types/src/json.rs crates/rmb-types/src/message.rs
 
 crates/rmb-types/src/lib.rs:
 crates/rmb-types/src/config.rs:
 crates/rmb-types/src/error.rs:
+crates/rmb-types/src/fault.rs:
 crates/rmb-types/src/flit.rs:
 crates/rmb-types/src/ids.rs:
 crates/rmb-types/src/json.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/rmb_workloads-97fc2b902c55448e.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/release/deps/rmb_workloads-97fc2b902c55448e.d: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
-/root/repo/target/release/deps/librmb_workloads-97fc2b902c55448e.rlib: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/release/deps/librmb_workloads-97fc2b902c55448e.rlib: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
-/root/repo/target/release/deps/librmb_workloads-97fc2b902c55448e.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
+/root/repo/target/release/deps/librmb_workloads-97fc2b902c55448e.rmeta: crates/rmb-workloads/src/lib.rs crates/rmb-workloads/src/arrival.rs crates/rmb-workloads/src/faults.rs crates/rmb-workloads/src/permutation.rs crates/rmb-workloads/src/sizes.rs crates/rmb-workloads/src/suite.rs
 
 crates/rmb-workloads/src/lib.rs:
 crates/rmb-workloads/src/arrival.rs:
+crates/rmb-workloads/src/faults.rs:
 crates/rmb-workloads/src/permutation.rs:
 crates/rmb-workloads/src/sizes.rs:
 crates/rmb-workloads/src/suite.rs:

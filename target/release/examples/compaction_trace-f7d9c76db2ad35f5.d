@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compaction_trace-f7d9c76db2ad35f5.d: examples/compaction_trace.rs
+
+/root/repo/target/release/examples/compaction_trace-f7d9c76db2ad35f5: examples/compaction_trace.rs
+
+examples/compaction_trace.rs:

@@ -29,8 +29,7 @@ fn workload_to_delivery_pipeline() {
         }),
     );
     let msgs = suite.permutation(PermutationKind::Random);
-    let mut net = RmbNetwork::new(rmb_cfg(n, 4));
-    net.set_checked(true);
+    let mut net = RmbNetwork::builder(rmb_cfg(n, 4)).checked(true).build();
     net.submit_all(msgs.iter().copied()).expect("valid workload");
     let report = net.run_to_quiescence(4_000_000);
     assert_eq!(report.delivered, msgs.len(), "stalled={}", report.stalled);

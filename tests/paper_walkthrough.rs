@@ -7,17 +7,23 @@ use rmb::sim::trace::TraceKind;
 use rmb::types::{MessageSpec, NodeId, RmbConfig};
 
 fn net(n: u32, k: u16) -> RmbNetwork {
-    let mut net = RmbNetwork::new(RmbConfig::new(n, k).unwrap());
-    net.set_checked(true);
-    net
+    RmbNetwork::builder(RmbConfig::new(n, k).unwrap())
+        .checked(true)
+        .build()
+}
+
+fn recording_net(n: u32, k: u16) -> RmbNetwork {
+    RmbNetwork::builder(RmbConfig::new(n, k).unwrap())
+        .checked(true)
+        .recording(true)
+        .build()
 }
 
 /// §2.2: "New channels of communication are introduced only at top bus,
 /// bus segment k - 1 at that node."
 #[test]
 fn s22_new_channels_enter_at_the_top_bus_only() {
-    let mut net = net(10, 4);
-    net.enable_recording();
+    let mut net = recording_net(10, 4);
     for s in 0..5 {
         net.submit(MessageSpec::new(NodeId::new(s), NodeId::new(s + 5), 4).at(u64::from(s) * 7))
             .unwrap();
@@ -88,8 +94,7 @@ fn s22_no_data_before_hack() {
 /// with that request."
 #[test]
 fn s22_nack_releases_and_retries() {
-    let mut net = net(10, 3);
-    net.enable_recording();
+    let mut net = recording_net(10, 3);
     net.submit(MessageSpec::new(NodeId::new(5), NodeId::new(9), 400))
         .unwrap();
     net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(9), 2).at(3))
@@ -134,8 +139,7 @@ fn s22_fack_frees_ports_progressively() {
 /// only downwards."
 #[test]
 fn s22_compaction_moves_only_down() {
-    let mut net = net(12, 4);
-    net.enable_recording();
+    let mut net = recording_net(12, 4);
     net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(8), 60))
         .unwrap();
     net.submit(MessageSpec::new(NodeId::new(2), NodeId::new(10), 60).at(4))
@@ -184,8 +188,7 @@ fn s23_compaction_does_not_disturb_the_stream() {
             .compaction(compaction)
             .build()
             .unwrap();
-        let mut net = RmbNetwork::new(cfg);
-        net.set_checked(true);
+        let mut net = RmbNetwork::builder(cfg).checked(true).build();
         net.submit(MessageSpec::new(NodeId::new(1), NodeId::new(9), 24))
             .unwrap();
         net.run_to_quiescence(10_000);
