@@ -18,11 +18,12 @@
 
 use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
 use crate::status::{PortStatus, SourceDir};
+use rmb_sim::IdSlab;
 use rmb_types::{
     BusIndex, DeliveredMessage, MessageSpec, NodeId, ProtocolError, RequestId, RingSize,
     RmbConfig, VirtualBusId,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One in-flight flit of a circuit: its sequence number (0 = header,
 /// 1..=m data, m+1 = final) and the hop index it currently occupies.
@@ -85,13 +86,17 @@ pub struct FlitLevelRmb {
     out_status: Vec<Vec<PortStatus>>,
     /// Segment occupancy, `[hop][bus]`.
     seg_owner: Vec<Vec<Option<VirtualBusId>>>,
-    circuits: BTreeMap<VirtualBusId, Circuit>,
+    /// Live circuits, keyed by `VirtualBusId::get` (ids are monotone, so
+    /// the slab's sorted id list iterates in creation order for free).
+    circuits: IdSlab<Circuit>,
     nodes: Vec<Node>,
     next_request: u64,
     next_circuit: u64,
     delivered: Vec<DeliveredMessage>,
     refusals: u64,
     moves: u64,
+    /// Reusable compaction plan buffer (no per-tick allocation).
+    scratch_plan: Vec<(VirtualBusId, usize, BusIndex, BusIndex)>,
 }
 
 impl FlitLevelRmb {
@@ -128,13 +133,14 @@ impl FlitLevelRmb {
             now: 0,
             out_status: vec![vec![PortStatus::UNUSED; k]; n],
             seg_owner: vec![vec![None; k]; n],
-            circuits: BTreeMap::new(),
+            circuits: IdSlab::new(),
             nodes: vec![Node::default(); n],
             next_request: 0,
             next_circuit: 0,
             delivered: Vec::new(),
             refusals: 0,
             moves: 0,
+            scratch_plan: Vec::new(),
         }
     }
 
@@ -207,9 +213,14 @@ impl FlitLevelRmb {
     fn move_acks_and_flits(&mut self) {
         let ring = self.cfg.nodes();
         let now = self.now;
-        let ids: Vec<VirtualBusId> = self.circuits.keys().copied().collect();
-        for id in ids {
-            let mut c = self.circuits.remove(&id).expect("live");
+        // The only phase that removes circuits: detach the slab so each
+        // circuit mutates in place (no remove/re-insert churn) while the
+        // node and register state stays freely borrowable; removals are
+        // lazy and pruned in one pass at the end.
+        let mut circuits = std::mem::replace(&mut self.circuits, IdSlab::new());
+        for i in 0..circuits.active().len() {
+            let id = VirtualBusId::new(circuits.active()[i]);
+            let c = circuits.get_mut(id.get()).expect("active ids are live");
             let span = c.span(ring) as usize;
             let mut remove = false;
             match c.state {
@@ -227,24 +238,26 @@ impl FlitLevelRmb {
                 }
                 CircuitState::Streaming { .. } => {
                     // Advance every in-flight flit one segment; consume at
-                    // the destination.
-                    let mut still: VecDeque<FlitPos> = VecDeque::new();
-                    let total = c.spec.data_flits + 1; // data + FF (header long gone)
+                    // the destination (in place, preserving flit order).
+                    let data_flits = c.spec.data_flits;
+                    let total = data_flits + 1; // data + FF (header long gone)
                     let mut completed = false;
-                    for mut f in std::mem::take(&mut c.flits) {
+                    let mut arrived_data = 0;
+                    c.flits.retain_mut(|f| {
                         f.hop += 1;
                         if f.hop == span {
-                            if f.seq <= c.spec.data_flits && f.seq >= 1 {
-                                c.delivered_data += 1;
+                            if f.seq <= data_flits && f.seq >= 1 {
+                                arrived_data += 1;
                             }
                             if f.seq == total {
                                 completed = true;
                             }
+                            false
                         } else {
-                            still.push_back(f);
+                            true
                         }
-                    }
-                    c.flits = still;
+                    });
+                    c.delivered_data += arrived_data;
                     if completed {
                         self.delivered.push(DeliveredMessage {
                             request: c.request,
@@ -287,7 +300,7 @@ impl FlitLevelRmb {
                     let node = ring.advance(c.spec.source, idx as u32);
                     let l = c.heights[idx];
                     self.release_segment(node.as_usize(), l, id);
-                    self.clear_port(node.as_usize(), idx, &c);
+                    self.clear_port(node.as_usize(), idx, c);
                     let new_freed = freed + 1;
                     match &mut c.state {
                         CircuitState::NackReturning { freed }
@@ -300,55 +313,50 @@ impl FlitLevelRmb {
                 }
             }
             if remove {
-                self.nodes[c.spec.source.as_usize()].sending = false;
+                let source = c.spec.source;
+                self.nodes[source.as_usize()].sending = false;
                 if matches!(c.state, CircuitState::NackReturning { .. }) {
                     let refusals = c.refusals + 1;
                     let backoff = self.cfg.node.retry_backoff * u64::from(refusals);
-                    self.nodes[c.spec.source.as_usize()].pending.push_back((
+                    // Mirror RmbNetwork: the retry waits `backoff` ticks but
+                    // keeps the original request time for latency stats.
+                    self.nodes[source.as_usize()].pending.push_back((
                         c.request,
-                        c.spec,
+                        c.spec.at(now + backoff),
                         c.requested_at,
                         refusals,
                     ));
-                    // Mirror RmbNetwork: the retry waits `backoff` ticks.
-                    let back = self.nodes[c.spec.source.as_usize()]
-                        .pending
-                        .back_mut()
-                        .expect("just pushed");
-                    back.2 = c.requested_at; // original request time
-                    back.1 = back.1.at(now + backoff);
                 }
-            } else {
-                self.circuits.insert(id, c);
+                circuits.remove(id.get());
             }
         }
+        circuits.compact_active();
+        self.circuits = circuits;
     }
 
     fn decide(&mut self) {
         let ring = self.cfg.nodes();
-        let ids: Vec<VirtualBusId> = self.circuits.keys().copied().collect();
-        for id in ids {
-            let (head, dst, spanned);
+        for i in 0..self.circuits.active().len() {
+            let id = self.circuits.active()[i];
+            let (head, dst);
             {
-                let c = &self.circuits[&id];
+                let c = self.circuits.get(id).expect("active ids are live");
                 if !matches!(c.state, CircuitState::Establishing) {
                     continue;
                 }
                 head = c.head_node(ring);
                 dst = c.spec.destination;
-                spanned = c.heights.len();
             }
             if head != dst {
                 continue;
             }
             let accept = !self.nodes[dst.as_usize()].receiving;
-            let c = self.circuits.get_mut(&id).expect("live");
+            let c = self.circuits.get_mut(id).expect("live");
             if accept {
                 self.nodes[dst.as_usize()].receiving = true;
                 c.state = CircuitState::HackReturning { pos: 0 };
                 // The header flit is consumed at the destination.
                 c.flits.clear();
-                let _ = spanned;
             } else {
                 c.state = CircuitState::NackReturning { freed: 0 };
                 self.refusals += 1;
@@ -358,13 +366,12 @@ impl FlitLevelRmb {
 
     fn extend(&mut self) {
         let ring = self.cfg.nodes();
-        let now = self.now;
         let top = self.cfg.top_bus();
-        let ids: Vec<VirtualBusId> = self.circuits.keys().copied().collect();
-        for id in ids {
-            let (head, injected_at);
+        for i in 0..self.circuits.active().len() {
+            let id = self.circuits.active()[i];
+            let head;
             {
-                let c = &self.circuits[&id];
+                let c = self.circuits.get(id).expect("active ids are live");
                 if !matches!(c.state, CircuitState::Establishing) {
                     continue;
                 }
@@ -372,9 +379,7 @@ impl FlitLevelRmb {
                 if head == c.spec.destination {
                     continue;
                 }
-                injected_at = c.requested_at; // placeholder; refined below
             }
-            let _ = injected_at;
             let hop = head.as_usize();
             if self.seg_owner[hop][top.as_usize()].is_some() {
                 continue;
@@ -382,8 +387,8 @@ impl FlitLevelRmb {
             // Claim the segment; wire the INC register: the new output at
             // `top` receives from the trail (straight or from below) — or
             // from the PE at the source.
-            self.seg_owner[hop][top.as_usize()] = Some(id);
-            let c = self.circuits.get_mut(&id).expect("live");
+            self.seg_owner[hop][top.as_usize()] = Some(VirtualBusId::new(id));
+            let c = self.circuits.get_mut(id).expect("live");
             let prev = *c.heights.last().expect("has hops");
             c.heights.push(top);
             let offset = i32::from(prev.index()) - i32::from(top.index());
@@ -392,7 +397,6 @@ impl FlitLevelRmb {
             let status = &mut self.out_status[hop][top.as_usize()];
             assert!(status.is_unused(), "claiming a driven port");
             *status = status.with(dir);
-            let _ = now;
         }
     }
 
@@ -425,7 +429,7 @@ impl FlitLevelRmb {
             // (the PE interface is a separate attachment).
             self.nodes[s].sending = true;
             self.circuits.insert(
-                id,
+                id.get(),
                 Circuit {
                     request,
                     spec,
@@ -448,9 +452,12 @@ impl FlitLevelRmb {
         let ring = self.cfg.nodes();
         let phase = Phase::of_tick(self.now);
         // Decide on the phase-start snapshot, then apply with explicit
-        // make-before-break register sequences.
-        let mut plan: Vec<(VirtualBusId, usize, BusIndex, BusIndex)> = Vec::new();
-        for (id, c) in &self.circuits {
+        // make-before-break register sequences. The plan buffer is owned by
+        // the sim and reused tick over tick, so steady state allocates
+        // nothing here.
+        let mut plan = std::mem::take(&mut self.scratch_plan);
+        plan.clear();
+        for (id, c) in self.circuits.iter() {
             if matches!(
                 c.state,
                 CircuitState::NackReturning { .. } | CircuitState::FackReturning { .. }
@@ -465,13 +472,15 @@ impl FlitLevelRmb {
                 }
                 let ctx = self.hop_context(c, j, ring);
                 if ctx.switchable_down().is_some() {
-                    plan.push((*id, j, height, height.lower().expect("not bottom")));
+                    plan.push((VirtualBusId::new(id), j, height, height.lower().expect("not bottom")));
                 }
             }
         }
-        for (id, j, from, to) in plan {
+        for &(id, j, from, to) in &plan {
             self.apply_move(id, j, from, to);
         }
+        plan.clear();
+        self.scratch_plan = plan;
     }
 
     fn hop_context(&self, c: &Circuit, j: usize, ring: RingSize) -> HopContext {
@@ -509,13 +518,25 @@ impl FlitLevelRmb {
     /// choreography, asserting Table 1 legality at every micro-step.
     fn apply_move(&mut self, id: VirtualBusId, j: usize, from: BusIndex, to: BusIndex) {
         let ring = self.cfg.nodes();
-        let c = self.circuits.get(&id).expect("live").clone();
-        let node = ring.advance(c.spec.source, j as u32).as_usize();
-        let next = ring.advance(c.spec.source, j as u32 + 1).as_usize();
+        // Only three facts about the circuit matter for the register
+        // choreography; copy them out instead of cloning the whole circuit.
+        let (source, up_in, down_out) = {
+            let c = self.circuits.get(id.get()).expect("live");
+            (
+                c.spec.source,
+                if j == 0 { None } else { Some(c.heights[j - 1]) },
+                if j + 1 < c.heights.len() {
+                    Some(c.heights[j + 1])
+                } else {
+                    None
+                },
+            )
+        };
+        let node = ring.advance(source, j as u32).as_usize();
+        let next = ring.advance(source, j as u32 + 1).as_usize();
 
         // Upstream INC (output side): make the new connection before
         // breaking the old one.
-        let up_in = if j == 0 { None } else { Some(c.heights[j - 1]) };
         if let Some(inp) = up_in {
             let into_new = SourceDir::from_offset(i32::from(inp.index()) - i32::from(to.index()))
                 .expect("switchable move keeps the input in reach");
@@ -530,11 +551,6 @@ impl FlitLevelRmb {
         }
         // Downstream INC (input side): its consuming output port briefly
         // receives from both the old and the new input.
-        let down_out = if j + 1 < c.heights.len() {
-            Some(c.heights[j + 1])
-        } else {
-            None
-        };
         if let Some(out) = down_out {
             let old_in = SourceDir::from_offset(i32::from(from.index()) - i32::from(out.index()))
                 .expect("current connection is legal");
@@ -552,7 +568,7 @@ impl FlitLevelRmb {
         assert!(self.seg_owner[node][to.as_usize()].is_none());
         self.seg_owner[node][from.as_usize()] = None;
         self.seg_owner[node][to.as_usize()] = Some(id);
-        self.circuits.get_mut(&id).expect("live").heights[j] = to;
+        self.circuits.get_mut(id.get()).expect("live").heights[j] = to;
         self.moves += 1;
     }
 

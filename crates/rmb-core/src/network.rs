@@ -28,15 +28,27 @@
 //! occupancy is one flat array (`hop * k + bus`) with a per-hop free
 //! count, making [`segment_owner`](RmbNetwork::segment_owner) an array
 //! read and [`path_feasible`](RmbNetwork::path_feasible) O(1) per hop.
+//!
+//! # Scheduling
+//!
+//! Two per-tick execution engines share this state
+//! ([`SchedulerMode`](crate::SchedulerMode), selected through
+//! [`SimOptions`]): the classic *dense sweep* touches every live bus and
+//! every INC each tick, while the default *event-driven* engine keeps a
+//! per-bus `next_due` tick, a ready set plus hierarchical timing wheel for
+//! injection queues, and a dirty set for compaction, so a tick costs
+//! O(circuits with due work) rather than O(N·k). The two are byte-identical
+//! by construction and by test (see `tests/scheduler_equivalence.rs`); the
+//! sweep survives purely as the cross-check oracle.
 
 use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
 use crate::cycle::CycleRing;
 use crate::invariants::{check_network, InvariantViolation};
-use crate::options::{RmbNetworkBuilder, SimOptions};
+use crate::options::{RmbNetworkBuilder, SchedulerMode, SimOptions};
 use crate::virtual_bus::{BusState, StreamState, VirtualBus};
 use rmb_sim::stats::OnlineStats;
 use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
-use rmb_sim::{SimRng, Tick};
+use rmb_sim::{SimRng, Tick, TimingWheel};
 use rmb_types::{
     AckMode, BusIndex, DeliveredMessage, FaultKind, InsertionPolicy, MessageSpec, NodeId,
     ProtocolError, RequestId, RingSize, RmbConfig, VirtualBusId,
@@ -82,6 +94,59 @@ struct NodeState {
 /// A compaction move: (bus, hop index, from height, to height, hop node).
 type MoveCmd = (VirtualBusId, usize, BusIndex, BusIndex, usize);
 
+/// What [`RmbNetwork::try_inject_at`] did for one node's queue front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectOutcome {
+    /// The node is at its concurrent-send cap; the front stays queued.
+    CapBlocked,
+    /// The queue is empty.
+    NoFront,
+    /// The front's `not_before` is in the future.
+    NotDue,
+    /// Faults block injection; the front was refused (and backed off or
+    /// aborted), changing the queue front.
+    RefusedAtSource,
+    /// No usable segment; the HF stays buffered at the node (§2.3).
+    Buffered,
+    /// The front was injected as a new virtual bus.
+    Injected,
+}
+
+/// State of the event-driven scheduler ([`SchedulerMode::EventDriven`]).
+///
+/// Per-bus entries are indexed by the bus's *slot* in the [`BusSlab`]
+/// (reset on slot reuse by [`RmbNetwork::sched_init_bus`]); per-node
+/// injection state lives in a ready set plus a timing wheel. The dense
+/// sweep ignores all of this. See DESIGN.md for the wake discipline.
+#[derive(Debug, Default)]
+struct SchedState {
+    /// Per-slot earliest tick at which the bus next has stream/teardown
+    /// work (`u64::MAX` for parked `Establishing` buses).
+    next_due: Vec<u64>,
+    /// Per-slot membership flag for `compact_dirty`.
+    dirty: Vec<bool>,
+    /// Per-slot count of consecutive compaction activations that found no
+    /// move for this bus; at 2 (one odd + one even phase) it goes clean.
+    clean_streak: Vec<u8>,
+    /// Live `Establishing` buses in ascending id order, compacted lazily
+    /// as buses leave the state (drives the decide/extend phases).
+    establishing: Vec<VirtualBusId>,
+    /// Buses that may have an eligible compaction move, ascending id
+    /// order (may contain dead ids until they are iterated over).
+    compact_dirty: Vec<VirtualBusId>,
+    /// Nodes whose queue front is due for injection, ascending.
+    ready: Vec<u32>,
+    /// Per-node membership flag for `ready`.
+    ready_mask: Vec<bool>,
+    /// One entry per node whose queue front becomes due at a future tick.
+    wheel: TimingWheel<u32>,
+    /// Buses to re-mark compaction-dirty at the next activation; buffered
+    /// because segment releases can fire while the bus slab is detached.
+    pending_wakes: Vec<VirtualBusId>,
+    /// Reusable snapshot of `ready` for the injection scan.
+    scratch_ready: Vec<u32>,
+}
+
 /// Slab storage for live virtual buses (see the module docs).
 #[derive(Debug, Default)]
 pub(crate) struct BusSlab {
@@ -108,6 +173,7 @@ impl BusSlab {
     }
 
     /// Live ids in ascending order.
+    #[cfg(test)]
     fn active_ids(&self) -> &[VirtualBusId] {
         &self.active
     }
@@ -164,6 +230,7 @@ impl BusSlab {
         self.slot(id).and_then(|s| self.slots[s].take())
     }
 
+    #[cfg(test)]
     fn put_back(&mut self, id: VirtualBusId, bus: VirtualBus) {
         let slot = self.slot(id).expect("putting back a known bus");
         debug_assert!(self.slots[slot].is_none());
@@ -328,6 +395,16 @@ pub struct RmbNetwork {
     next_request: u64,
     next_bus: u64,
     busy_segments: usize,
+    /// Total requests sitting in node queues (cached so quiescence checks
+    /// don't scan all N nodes).
+    pending_total: usize,
+    /// Cached `opts.scheduler == EventDriven` (immutable after build).
+    event_driven: bool,
+    /// `true` while the event engine also tracks the compaction dirty set
+    /// (event-driven + synchronous compaction + compaction enabled).
+    track_dirty: bool,
+    /// Event-driven scheduler state (unused by the dense sweep).
+    sched: SchedState,
     // Fault machinery.
     /// The plan flattened to `(tick, is_repair, kind)`, sorted by tick.
     fault_timeline: Vec<(u64, bool, FaultKind)>,
@@ -361,7 +438,6 @@ pub struct RmbNetwork {
     setup_sum: u64,
     last_delivery_at: u64,
     // Reusable per-tick scratch (kept to avoid per-tick allocation).
-    scratch_ids: Vec<VirtualBusId>,
     scratch_moves: Vec<MoveCmd>,
     // Tracing.
     recorder: Option<VecSink>,
@@ -410,6 +486,7 @@ impl RmbNetwork {
         let mode = opts.compaction_mode.clone();
         let fault_seed = opts.fault_seed;
         let recording = opts.recording;
+        let event_driven = opts.scheduler == SchedulerMode::EventDriven;
         let mut net = RmbNetwork {
             cfg,
             now: Tick::ZERO,
@@ -422,6 +499,13 @@ impl RmbNetwork {
             next_request: 0,
             next_bus: 0,
             busy_segments: 0,
+            pending_total: 0,
+            event_driven,
+            track_dirty: false,
+            sched: SchedState {
+                ready_mask: vec![false; n],
+                ..SchedState::default()
+            },
             fault_timeline,
             next_fault: 0,
             fault_count: vec![0; n * k],
@@ -444,7 +528,6 @@ impl RmbNetwork {
             latency_sum: 0,
             setup_sum: 0,
             last_delivery_at: 0,
-            scratch_ids: Vec::new(),
             scratch_moves: Vec::new(),
             recorder: recording.then(VecSink::new),
             height_history: HashMap::new(),
@@ -473,6 +556,17 @@ impl RmbNetwork {
             self.cycles = None;
         }
         self.opts.compaction_mode = mode;
+        self.track_dirty = self.event_driven
+            && self.cfg.compaction
+            && matches!(self.opts.compaction_mode, CompactionMode::Synchronous);
+        if self.track_dirty {
+            // Mid-run switches (deprecated setter) start from a clean
+            // dirty set: conservatively re-assess every live bus.
+            for i in 0..self.buses.len() {
+                let id = self.buses.active_id(i);
+                self.mark_dirty(id);
+            }
+        }
     }
 
     /// Switches the compaction engine. Resets the handshake controllers.
@@ -487,17 +581,22 @@ impl RmbNetwork {
     }
 
     /// Enables or disables the idle-tick fast-forward in
-    /// [`run_to_quiescence`](Self::run_to_quiescence) (on by default).
+    /// [`run_to_quiescence`](Self::run_to_quiescence) — the deprecated
+    /// shim for [`SimOptions::fast_forward`](crate::SimOptions) (on by
+    /// default).
     ///
     /// With fast-forward on, stretches of ticks in which no circuit is
-    /// live and no pending request is due are skipped arithmetically: the
-    /// clock jumps to the next due tick and the skipped all-idle
-    /// utilisation samples are recorded in one step. This only happens in
-    /// synchronous compaction mode — handshake cycle controllers mutate
-    /// state every activation, so their ticks are never no-ops — and
-    /// produces the same run as ticking through the idle stretch (the
-    /// running utilisation mean may differ in the last floating-point
-    /// digit).
+    /// live, no pending request is due and no fault event is scheduled to
+    /// fire are skipped arithmetically: the clock jumps to the next due
+    /// tick and the skipped all-idle utilisation samples are recorded in
+    /// one step. Under the event-driven scheduler the next due tick is
+    /// read straight off the injection timing wheel and the fault
+    /// timeline; the dense sweep derives it by scanning every node's queue
+    /// front. Either way the jump only happens in synchronous compaction
+    /// mode — handshake cycle controllers mutate state every activation,
+    /// so their ticks are never no-ops — and produces the same run as
+    /// ticking through the idle stretch (the running utilisation mean may
+    /// differ in the last floating-point digit).
     #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
     pub fn set_fast_forward(&mut self, on: bool) {
         self.opts.fast_forward = on;
@@ -564,7 +663,11 @@ impl RmbNetwork {
 
     /// Requests not yet injected (buffered HFs plus backoff waiters).
     pub fn pending_requests(&self) -> usize {
-        self.nodes.iter().map(|n| n.pending.len()).sum()
+        debug_assert_eq!(
+            self.pending_total,
+            self.nodes.iter().map(|n| n.pending.len()).sum::<usize>()
+        );
+        self.pending_total
     }
 
     /// Count of currently busy physical segments.
@@ -628,33 +731,56 @@ impl RmbNetwork {
 
     /// `true` when nothing is in flight and nothing is waiting.
     pub fn is_quiescent(&self) -> bool {
-        self.buses.is_empty() && self.nodes.iter().all(|n| n.pending.is_empty())
+        self.buses.is_empty() && self.pending_total == 0
     }
 
     /// `true` when some circuit is live, some pending request is already
     /// due for injection (as opposed to scheduled for a future tick), or a
     /// scheduled fault event is due to apply.
+    ///
+    /// The event-driven engine answers from its ready set and timing
+    /// wheel; outside the injection phase the wheel's hint is exact, so
+    /// both engines agree on every call site.
     pub fn has_due_work(&self) -> bool {
-        !self.buses.is_empty()
-            || self.nodes.iter().any(|n| {
+        if !self.buses.is_empty()
+            || self
+                .next_fault_tick()
+                .is_some_and(|at| at <= self.now.get())
+        {
+            return true;
+        }
+        if self.event_driven {
+            !self.sched.ready.is_empty()
+                || self
+                    .sched
+                    .wheel
+                    .peek_hint()
+                    .is_some_and(|t| t.get() <= self.now.get())
+        } else {
+            self.nodes.iter().any(|n| {
                 n.pending
                     .front()
                     .is_some_and(|p| p.not_before <= self.now.get())
             })
-            || self
-                .next_fault_tick()
-                .is_some_and(|at| at <= self.now.get())
+        }
     }
 
     /// The earliest tick at which a pending request or a scheduled fault
     /// event becomes due, if any. Only queue fronts matter: injection is
     /// head-of-line per node.
     fn next_due_tick(&self) -> Option<u64> {
-        let pending = self
-            .nodes
-            .iter()
-            .filter_map(|n| n.pending.front().map(|p| p.not_before))
-            .min();
+        let pending = if self.event_driven {
+            // Only consulted when nothing is due now, so the ready set is
+            // empty and every waiting front has a wheel entry; the hint
+            // is exact outside the injection phase.
+            debug_assert!(self.sched.ready.is_empty() || self.has_due_work());
+            self.sched.wheel.peek_hint().map(Tick::get)
+        } else {
+            self.nodes
+                .iter()
+                .filter_map(|n| n.pending.front().map(|p| p.not_before))
+                .min()
+        };
         match (pending, self.next_fault_tick()) {
             (Some(p), Some(f)) => Some(p.min(f)),
             (p, f) => p.or(f),
@@ -687,16 +813,20 @@ impl RmbNetwork {
         let request = RequestId::new(self.next_request);
         self.next_request += 1;
         self.submitted += 1;
-        self.nodes[spec.source.as_usize()]
-            .pending
-            .push_back(PendingRequest {
-                request,
-                spec,
-                taps: Vec::new(),
-                requested_at: spec.inject_at,
-                refusals: 0,
-                not_before: spec.inject_at,
-            });
+        let s = spec.source.as_usize();
+        let was_empty = self.nodes[s].pending.is_empty();
+        self.nodes[s].pending.push_back(PendingRequest {
+            request,
+            spec,
+            taps: Vec::new(),
+            requested_at: spec.inject_at,
+            refusals: 0,
+            not_before: spec.inject_at,
+        });
+        self.pending_total += 1;
+        if self.event_driven && was_empty {
+            self.arm_node(s);
+        }
         Ok(request)
     }
 
@@ -750,7 +880,9 @@ impl RmbNetwork {
         let request = RequestId::new(self.next_request);
         self.next_request += 1;
         self.submitted += sorted.len() as u64;
-        self.nodes[source.as_usize()].pending.push_back(PendingRequest {
+        let s = source.as_usize();
+        let was_empty = self.nodes[s].pending.is_empty();
+        self.nodes[s].pending.push_back(PendingRequest {
             request,
             spec: MessageSpec::new(source, final_dest, data_flits).at(inject_at),
             taps,
@@ -758,6 +890,10 @@ impl RmbNetwork {
             refusals: 0,
             not_before: inject_at,
         });
+        self.pending_total += 1;
+        if self.event_driven && was_empty {
+            self.arm_node(s);
+        }
         Ok(request)
     }
 
@@ -794,10 +930,13 @@ impl RmbNetwork {
 
     /// Runs until quiescence, stall, or `max_ticks`, and reports.
     ///
-    /// With [fast-forward](Self::set_fast_forward) enabled (the default)
-    /// and the synchronous compactor, stretches of ticks with no live
-    /// circuit and no due injection are skipped arithmetically instead of
-    /// being simulated one by one.
+    /// With [`SimOptions::fast_forward`](crate::SimOptions) enabled (the
+    /// default, via [`RmbNetwork::builder`]) and the synchronous
+    /// compactor, stretches of ticks with no live circuit, no due
+    /// injection and no pending fault event are skipped arithmetically
+    /// instead of being simulated one by one; the event-driven scheduler
+    /// finds the jump target in O(1) from its timing wheel, the dense
+    /// sweep by scanning the queue fronts.
     pub fn run_to_quiescence(&mut self, max_ticks: u64) -> RunReport {
         // A parked header only makes progress again after `head_timeout`
         // ticks (its refusal is the progress event), so the stall window
@@ -1032,6 +1171,26 @@ impl RmbNetwork {
         self.fault_count[idx] -= 1;
         if self.fault_count[idx] == 0 && self.segments[idx].is_none() {
             self.free_per_hop[hop] += 1;
+            // The segment is available again: the circuit directly above
+            // (if any) may now have a downward move.
+            self.wake_above(hop, bus);
+        }
+    }
+
+    /// Queues a compaction re-mark for the circuit occupying the segment
+    /// directly above `(hop, bus)` — called when `(hop, bus)` becomes
+    /// available, which can enable that circuit's downward move. Buffered
+    /// in `pending_wakes` because releases also fire while the bus slab
+    /// is detached (stream-phase teardowns).
+    fn wake_above(&mut self, hop: usize, bus: BusIndex) {
+        if !self.track_dirty {
+            return;
+        }
+        if bus.index() + 1 >= self.cfg.buses() {
+            return;
+        }
+        if let Some(owner) = self.seg(hop, bus.upper().as_usize()) {
+            self.sched.pending_wakes.push(owner);
         }
     }
 
@@ -1064,6 +1223,9 @@ impl RmbNetwork {
         self.first_kill.entry(request).or_insert(now);
         self.last_progress = now;
         self.trace(TraceKind::FaultKill, id, source, None, why);
+        // The Nacked teardown starts freeing hops in the next stream
+        // phase; make sure the event engine looks at the bus then.
+        self.wake_bus(id);
     }
 
     /// Bounded exponential backoff with jitter for fault-hit retries:
@@ -1085,6 +1247,7 @@ impl RmbNetwork {
     fn refuse_at_source(&mut self, s: usize) {
         let now = self.now.get();
         let mut p = self.nodes[s].pending.pop_front().expect("front exists");
+        self.pending_total -= 1;
         p.refusals += 1;
         self.refusals += 1;
         self.last_progress = now;
@@ -1105,7 +1268,132 @@ impl RmbNetwork {
             self.retries += 1;
             p.not_before = now + self.fault_backoff(p.refusals);
             self.nodes[s].pending.push_back(p);
+            self.pending_total += 1;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: event-driven scheduler bookkeeping.
+    // ------------------------------------------------------------------
+
+    /// (Re-)arms injection tracking for node `s` after its queue front
+    /// changed: due fronts join the ready set, future ones get a wheel
+    /// entry. A node with an unchanged front is never re-armed, so the
+    /// wheel holds at most one live entry per waiting node.
+    fn arm_node(&mut self, s: usize) {
+        let Some(front) = self.nodes[s].pending.front() else {
+            return;
+        };
+        let not_before = front.not_before;
+        if not_before <= self.now.get() {
+            self.ready_insert(s);
+        } else {
+            self.sched.wheel.schedule(Tick::new(not_before), s as u32);
+        }
+    }
+
+    /// Adds node `s` to the sorted ready set (no-op if present).
+    fn ready_insert(&mut self, s: usize) {
+        if self.sched.ready_mask[s] {
+            return;
+        }
+        self.sched.ready_mask[s] = true;
+        let v = s as u32;
+        match self.sched.ready.last() {
+            Some(&last) if last >= v => {
+                let pos = self.sched.ready.partition_point(|&x| x < v);
+                self.sched.ready.insert(pos, v);
+            }
+            _ => self.sched.ready.push(v),
+        }
+    }
+
+    /// Removes node `s` from the ready set (no-op if absent).
+    fn ready_remove(&mut self, s: usize) {
+        if !self.sched.ready_mask[s] {
+            return;
+        }
+        self.sched.ready_mask[s] = false;
+        let v = s as u32;
+        let pos = self.sched.ready.partition_point(|&x| x < v);
+        debug_assert_eq!(self.sched.ready.get(pos), Some(&v));
+        self.sched.ready.remove(pos);
+    }
+
+    /// Ensures the event engine processes bus `id` in the next stream
+    /// phase (no-op for the dense sweep or an unknown id).
+    fn wake_bus(&mut self, id: VirtualBusId) {
+        if !self.event_driven {
+            return;
+        }
+        if let Some(slot) = self.buses.slot(id) {
+            let due = &mut self.sched.next_due[slot];
+            *due = (*due).min(self.now.get());
+        }
+    }
+
+    /// Initialises per-slot scheduler state for a freshly injected bus
+    /// (slot indices are recycled, so every field is reset) and registers
+    /// it with the establishing list and the compaction dirty set.
+    fn sched_init_bus(&mut self, id: VirtualBusId) {
+        let slot = self.buses.slot(id).expect("freshly inserted bus");
+        let sd = &mut self.sched;
+        if sd.next_due.len() <= slot {
+            sd.next_due.resize(slot + 1, u64::MAX);
+            sd.dirty.resize(slot + 1, false);
+            sd.clean_streak.resize(slot + 1, 0);
+        }
+        // Establishing buses are stream-phase no-ops until a decision or
+        // fault wakes them.
+        sd.next_due[slot] = u64::MAX;
+        sd.dirty[slot] = false;
+        sd.clean_streak[slot] = 0;
+        sd.establishing.push(id);
+        self.mark_dirty(id);
+    }
+
+    /// Marks `id` as possibly having an eligible compaction move. No-op
+    /// unless the dirty set is tracked (event-driven + synchronous
+    /// compactor) or the id is dead. Conservative marks are harmless: a
+    /// clean assessment just drops the bus again.
+    fn mark_dirty(&mut self, id: VirtualBusId) {
+        if !self.track_dirty {
+            return;
+        }
+        let Some(slot) = self.buses.slot(id) else {
+            return;
+        };
+        self.mark_dirty_slot(id, slot);
+    }
+
+    /// [`mark_dirty`](Self::mark_dirty) with the slot already in hand
+    /// (used while the bus slab is detached during the stream phase).
+    fn mark_dirty_slot(&mut self, id: VirtualBusId, slot: usize) {
+        let sd = &mut self.sched;
+        sd.clean_streak[slot] = 0;
+        if !sd.dirty[slot] {
+            sd.dirty[slot] = true;
+            match sd.compact_dirty.last() {
+                Some(&last) if last >= id => {
+                    let pos = sd.compact_dirty.partition_point(|&x| x < id);
+                    sd.compact_dirty.insert(pos, id);
+                }
+                _ => sd.compact_dirty.push(id),
+            }
+        }
+    }
+
+    /// Applies the buffered segment-release wake-ups (buses whose
+    /// below-segment freed while the slab was detached) to the dirty set.
+    fn flush_compaction_wakes(&mut self) {
+        if self.sched.pending_wakes.is_empty() {
+            return;
+        }
+        let mut wakes = std::mem::take(&mut self.sched.pending_wakes);
+        for id in wakes.drain(..) {
+            self.mark_dirty(id);
+        }
+        self.sched.pending_wakes = wakes;
     }
 
     // ------------------------------------------------------------------
@@ -1115,25 +1403,30 @@ impl RmbNetwork {
     fn progress_streams_and_teardowns(&mut self) {
         let ring = self.ring();
         let now = self.now.get();
+        let event = self.event_driven;
         let window = match self.cfg.ack_mode {
             AckMode::PerFlit => 1,
             AckMode::Windowed { window } => window.max(1),
             AckMode::Unlimited => u32::MAX,
         };
-        // This is the only phase that removes buses: iterate a scratch
-        // copy of the live ids and compact the slab's active list in
-        // place behind the read cursor.
-        let mut ids = std::mem::take(&mut self.scratch_ids);
-        ids.clear();
-        ids.extend_from_slice(self.buses.active_ids());
+        // This is the only phase that removes buses: detach the slab so
+        // buses can be mutated in place while the rest of the network is
+        // borrowed freely, compacting the active list behind the cursor.
+        let mut buses = std::mem::take(&mut self.buses);
         let mut kept = 0usize;
-        for &id in &ids {
-            // Work on the bus by value to satisfy the borrow checker; it
-            // is put back (or discarded) below.
-            let mut bus = match self.buses.take(id) {
-                Some(b) => b,
-                None => continue,
-            };
+        for i in 0..buses.len() {
+            let id = buses.active_id(i);
+            let slot = buses.slot(id).expect("active ids are live");
+            if event && self.sched.next_due[slot] > now {
+                // Nothing due: parked `Establishing` buses are stream
+                // no-ops, and a draining stream's next delivery or final
+                // flit is still in flight. The dense sweep would walk the
+                // same no-op arms and observe nothing.
+                buses.set_active(kept, id);
+                kept += 1;
+                continue;
+            }
+            let bus = buses.get_mut(id).expect("active ids are live");
             let span = bus.heights.len() as u64;
             let mut remove = false;
             let mut progressed = false;
@@ -1254,8 +1547,39 @@ impl RmbNetwork {
             if progressed {
                 self.last_progress = now;
             }
+            if event && !remove {
+                // When is this bus next due? `Establishing` parks until a
+                // decision or fault wakes it; teardown-ish states act
+                // every tick; a stream that has sent its final flit
+                // sleeps until the next in-flight flit lands. The wake
+                // ticks coincide with the dense sweep's delivery pops, so
+                // `last_progress` (and with it stall detection and report
+                // tick counts) stays byte-identical.
+                self.sched.next_due[slot] = match &bus.state {
+                    BusState::Establishing => u64::MAX,
+                    BusState::AwaitingHack { .. }
+                    | BusState::TearingDown { .. }
+                    | BusState::Nacked { .. } => now + 1,
+                    BusState::Streaming(s) => match s.ff_sent_at {
+                        None => now + 1,
+                        Some(ff) => {
+                            let next_delivery = s
+                                .awaiting_delivery
+                                .front()
+                                .map_or(u64::MAX, |&t| t + span);
+                            (ff + span).min(next_delivery)
+                        }
+                    },
+                };
+            }
+            if start_streaming && self.track_dirty {
+                // Newly streaming hops become assessable (§2.4); with
+                // early compaction off this is the bus's first chance.
+                self.mark_dirty_slot(id, slot);
+            }
             if remove {
-                self.buses.discard(id);
+                let bus = buses.take(id).expect("active ids are live");
+                buses.discard(id);
                 let nacked = matches!(bus.state, BusState::Nacked { .. });
                 self.nodes[bus.spec.source.as_usize()].sends_active -= 1;
                 if nacked {
@@ -1286,16 +1610,20 @@ impl RmbNetwork {
                         } else {
                             self.cfg.node.retry_backoff * refusals as u64
                         };
-                        self.nodes[bus.spec.source.as_usize()]
-                            .pending
-                            .push_back(PendingRequest {
-                                request: bus.request,
-                                spec: bus.spec,
-                                taps: bus.taps,
-                                requested_at: bus.requested_at,
-                                refusals,
-                                not_before: now + backoff,
-                            });
+                        let src = bus.spec.source.as_usize();
+                        let was_empty = self.nodes[src].pending.is_empty();
+                        self.nodes[src].pending.push_back(PendingRequest {
+                            request: bus.request,
+                            spec: bus.spec,
+                            taps: bus.taps,
+                            requested_at: bus.requested_at,
+                            refusals,
+                            not_before: now + backoff,
+                        });
+                        self.pending_total += 1;
+                        if event && was_empty {
+                            self.arm_node(src);
+                        }
                     }
                 } else {
                     self.trace(
@@ -1307,27 +1635,65 @@ impl RmbNetwork {
                     );
                 }
             } else {
-                self.buses.put_back(id, bus);
-                self.buses.set_active(kept, id);
+                buses.set_active(kept, id);
                 kept += 1;
             }
         }
-        self.buses.truncate_active(kept);
-        self.scratch_ids = ids;
+        buses.truncate_active(kept);
+        self.buses = buses;
+    }
+
+    /// Runs one establishment phase (`decide_bus` / `extend_bus`) over
+    /// exactly the live `Establishing` buses, in ascending id order.
+    ///
+    /// Event mode walks the scheduler's `establishing` list, dropping
+    /// entries that died or left the state *before* the call (the dense
+    /// sweep would skip them too) and keeping entries whose state changes
+    /// *during* the call (they fall out on the next pass). Dense mode
+    /// walks the whole active list; the per-bus methods re-check the
+    /// state themselves.
+    fn for_each_establishing(&mut self, phase: fn(&mut Self, VirtualBusId)) {
+        if self.event_driven {
+            let mut list = std::mem::take(&mut self.sched.establishing);
+            let mut kept = 0usize;
+            for i in 0..list.len() {
+                let id = list[i];
+                let still = self
+                    .buses
+                    .get(id)
+                    .is_some_and(|b| matches!(b.state, BusState::Establishing));
+                if !still {
+                    continue;
+                }
+                phase(self, id);
+                list[kept] = id;
+                kept += 1;
+            }
+            list.truncate(kept);
+            self.sched.establishing = list;
+        } else {
+            // No bus is created or removed in this phase, so the active
+            // list is stable and can be walked by position.
+            for i in 0..self.buses.len() {
+                let id = self.buses.active_id(i);
+                phase(self, id);
+            }
+        }
     }
 
     fn decide_at_destinations(&mut self) {
+        self.for_each_establishing(Self::decide_bus);
+    }
+
+    fn decide_bus(&mut self, id: VirtualBusId) {
         let ring = self.ring();
         let now = self.now.get();
-        // No bus is created or removed in this phase, so the active list
-        // is stable and can be walked by position.
-        for i in 0..self.buses.len() {
-            let id = self.buses.active_id(i);
+        {
             let (dst, span, head);
             {
                 let bus = self.buses.get(id).expect("bus is live");
                 if !matches!(bus.state, BusState::Establishing) {
-                    continue;
+                    return;
                 }
                 dst = bus.spec.destination;
                 span = bus.heights.len() as u32;
@@ -1343,7 +1709,7 @@ impl RmbNetwork {
             if Some(head) == next_tap {
                 if self.dead_inc[head.as_usize()] > 0 {
                     self.fault_kill(id, "tap INC is dead");
-                    continue;
+                    return;
                 }
                 if self.nodes[head.as_usize()].receives_active
                     < self.cfg.node.max_concurrent_receives
@@ -1357,10 +1723,11 @@ impl RmbNetwork {
                     let bus = self.buses.get_mut(id).expect("bus is live");
                     bus.state = BusState::Nacked { freed: 0 };
                     self.refusals += 1;
+                    self.wake_bus(id);
                     self.trace(TraceKind::Refuse, id, head, None, "multicast tap busy");
                 }
                 self.last_progress = now;
-                continue;
+                return;
             }
             if head != dst {
                 if let Some(limit) = self.cfg.head_timeout {
@@ -1370,6 +1737,7 @@ impl RmbNetwork {
                         let bus = self.buses.get_mut(id).expect("bus is live");
                         bus.state = BusState::Nacked { freed: 0 };
                         self.refusals += 1;
+                        self.wake_bus(id);
                         self.trace(
                             TraceKind::Refuse,
                             id,
@@ -1380,11 +1748,11 @@ impl RmbNetwork {
                         self.last_progress = now;
                     }
                 }
-                continue;
+                return;
             }
             if self.dead_inc[dst.as_usize()] > 0 {
                 self.fault_kill(id, "destination INC is dead");
-                continue;
+                return;
             }
             let accept = self.nodes[dst.as_usize()].receives_active
                 < self.cfg.node.max_concurrent_receives;
@@ -1392,10 +1760,15 @@ impl RmbNetwork {
             if accept {
                 bus.state = BusState::AwaitingHack { hops_left: span };
                 self.nodes[dst.as_usize()].receives_active += 1;
+                self.wake_bus(id);
+                // With early compaction the circuit is assessable from
+                // the Hack onwards (§2.4).
+                self.mark_dirty(id);
                 self.trace(TraceKind::Accept, id, dst, None, "destination accepted");
             } else {
                 bus.state = BusState::Nacked { freed: 0 };
                 self.refusals += 1;
+                self.wake_bus(id);
                 self.trace(TraceKind::Refuse, id, dst, None, "destination busy");
             }
             self.last_progress = now;
@@ -1403,33 +1776,35 @@ impl RmbNetwork {
     }
 
     fn extend_heads(&mut self) {
+        self.for_each_establishing(Self::extend_bus);
+    }
+
+    fn extend_bus(&mut self, id: VirtualBusId) {
         let ring = self.ring();
         let now = self.now.get();
         let top = self.cfg.top_bus();
-        // As in the decision phase, the active list is stable here.
-        for i in 0..self.buses.len() {
-            let id = self.buses.active_id(i);
+        {
             let (head, last_height, injected_at);
             {
                 let bus = self.buses.get(id).expect("bus is live");
                 if !matches!(bus.state, BusState::Establishing) {
-                    continue;
+                    return;
                 }
                 head = bus.head_node(ring);
                 if head == bus.spec.destination {
-                    continue;
+                    return;
                 }
                 // A multicast header dwells at each tap until the tap has
                 // taken its receive port (the decision phase arms it).
                 if bus.taps.get(bus.armed_taps) == Some(&head) {
-                    continue;
+                    return;
                 }
                 last_height = *bus.heights.last().expect("established hops");
                 injected_at = bus.injected_at;
             }
             if injected_at == now {
                 // Injected this very tick; the HF advances from next tick.
-                continue;
+                return;
             }
             let hop = head.as_usize();
             let chosen = match self.cfg.insertion {
@@ -1440,7 +1815,7 @@ impl RmbNetwork {
                         // rather than wait for a repair that may never
                         // come.
                         self.fault_kill(id, "header lane ahead is faulted");
-                        continue;
+                        return;
                     }
                     // Header flits travel on the top lane only (§2.3).
                     (self.seg(hop, top.as_usize()).is_none()).then_some(top)
@@ -1448,7 +1823,7 @@ impl RmbNetwork {
                 InsertionPolicy::AnyFreeBus => {
                     if self.reach_all_faulted(hop, last_height) {
                         self.fault_kill(id, "every reachable segment ahead is faulted");
-                        continue;
+                        return;
                     }
                     self.free_within_reach(hop, last_height)
                 }
@@ -1462,6 +1837,7 @@ impl RmbNetwork {
                 let bus = self.buses.get_mut(id).expect("bus is live");
                 bus.heights.push(height);
                 bus.parked_since = now;
+                self.mark_dirty(id);
                 self.trace(
                     TraceKind::Extend,
                     id,
@@ -1516,23 +1892,71 @@ impl RmbNetwork {
     }
 
     fn inject_pending(&mut self) {
-        let ring = self.ring();
         let now = self.now.get();
-        let n = ring.as_usize();
-        let top = self.cfg.top_bus();
+        let n = self.cfg.nodes().as_usize();
         // Rotate the scan start so low-numbered nodes get no static edge.
         let start = (now % n as u64) as usize;
-        for off in 0..n {
-            let s = (start + off) % n;
+        if self.event_driven {
+            // Promote nodes whose queue front has just come due from the
+            // timing wheel into the ready set, then attempt injection only
+            // at ready nodes — in the same rotated order the dense sweep
+            // would visit them. Draining the wheel to `None` leaves its
+            // peek hint exact, which `has_due_work` relies on.
+            while let Some((_, s)) = self.sched.wheel.pop_due(Tick::new(now)) {
+                self.arm_node(s as usize);
+            }
+            let mut ready = std::mem::take(&mut self.sched.scratch_ready);
+            ready.clear();
+            ready.extend_from_slice(&self.sched.ready);
+            let pivot = ready.partition_point(|&s| (s as usize) < start);
+            for idx in (pivot..ready.len()).chain(0..pivot) {
+                let s = ready[idx] as usize;
+                match self.try_inject_at(s) {
+                    // Still blocked on a send cap or a busy segment: the
+                    // front stays due, so the node stays ready.
+                    InjectOutcome::CapBlocked | InjectOutcome::Buffered => {}
+                    InjectOutcome::NoFront => self.ready_remove(s),
+                    InjectOutcome::NotDue => {
+                        // A ready node's front is immutable until visited,
+                        // so its `not_before` cannot move into the future.
+                        debug_assert!(false, "ready node's front is not due");
+                        self.ready_remove(s);
+                        self.arm_node(s);
+                    }
+                    // The front changed (consumed or re-queued with a
+                    // backoff): re-arm for the new front, if any.
+                    InjectOutcome::RefusedAtSource | InjectOutcome::Injected => {
+                        self.ready_remove(s);
+                        self.arm_node(s);
+                    }
+                }
+            }
+            self.sched.scratch_ready = ready;
+        } else {
+            for off in 0..n {
+                let s = (start + off) % n;
+                self.try_inject_at(s);
+            }
+        }
+    }
+
+    /// Attempts to inject the front pending request at node `s`: the
+    /// per-node body of the injection phase, shared verbatim by the dense
+    /// sweep (which ignores the outcome) and the event engine (which uses
+    /// it to maintain the ready set).
+    fn try_inject_at(&mut self, s: usize) -> InjectOutcome {
+        let now = self.now.get();
+        let top = self.cfg.top_bus();
+        {
             let node = &self.nodes[s];
             if node.sends_active >= self.cfg.node.max_concurrent_sends {
-                continue;
+                return InjectOutcome::CapBlocked;
             }
             let Some(front) = node.pending.front() else {
-                continue;
+                return InjectOutcome::NoFront;
             };
             if front.not_before > now {
-                continue;
+                return InjectOutcome::NotDue;
             }
             // Faults that park the request forever — a dead source INC,
             // or a header lane that is faulted rather than merely busy —
@@ -1547,7 +1971,7 @@ impl RmbNetwork {
                 };
             if fault_blocked {
                 self.refuse_at_source(s);
-                continue;
+                return InjectOutcome::RefusedAtSource;
             }
             let height = match self.cfg.insertion {
                 InsertionPolicy::TopBusOnly => {
@@ -1564,9 +1988,10 @@ impl RmbNetwork {
                 }
             };
             let Some(height) = height else {
-                continue; // HF stays buffered at the node (§2.3).
+                return InjectOutcome::Buffered; // HF stays buffered at the node (§2.3).
             };
             let pending = self.nodes[s].pending.pop_front().expect("front exists");
+            self.pending_total -= 1;
             let id = VirtualBusId::new(self.next_bus);
             self.next_bus += 1;
             self.occupy(s, height, id);
@@ -1593,7 +2018,11 @@ impl RmbNetwork {
                 "HF inserted",
             );
             self.buses.insert(bus);
+            if self.event_driven {
+                self.sched_init_bus(id);
+            }
             self.last_progress = now;
+            InjectOutcome::Injected
         }
     }
 
@@ -1608,7 +2037,11 @@ impl RmbNetwork {
                 // odd/even assessment rule guarantees the decided moves are
                 // mutually compatible (see compaction::tests).
                 let mut moves = std::mem::take(&mut self.scratch_moves);
-                self.collect_moves_into(phase, None, &mut moves);
+                if self.track_dirty {
+                    self.collect_dirty_moves(phase, &mut moves);
+                } else {
+                    self.collect_moves_into(phase, None, &mut moves);
+                }
                 for (id, j, from, to, hop) in moves.drain(..) {
                     self.apply_move(id, j, from, to, hop);
                 }
@@ -1664,7 +2097,7 @@ impl RmbNetwork {
 
     /// Collects the eligible moves for `phase` into `out` (cleared
     /// first), optionally restricted to hops whose upstream INC is
-    /// `only_node`.
+    /// `only_node` — the dense full scan, in ascending id order.
     fn collect_moves_into(
         &self,
         phase: Phase,
@@ -1672,7 +2105,6 @@ impl RmbNetwork {
         out: &mut Vec<MoveCmd>,
     ) {
         out.clear();
-        let ring = self.ring();
         for (id, bus) in self.buses.iter() {
             if !bus.state.compactable() {
                 continue;
@@ -1680,24 +2112,99 @@ impl RmbNetwork {
             if bus.state.pre_hack() && !self.cfg.early_compaction {
                 continue;
             }
-            for j in 0..bus.heights.len() {
-                let node = bus.hop_upstream_node(ring, j);
-                if let Some(only) = only_node {
-                    if node != only {
-                        continue;
-                    }
-                }
-                let height = bus.heights[j];
-                if !assessed_in_phase(node, height, phase) {
+            self.collect_bus_moves(id, bus, phase, only_node, out);
+        }
+    }
+
+    /// Appends the eligible moves of one bus to `out`, hops in ascending
+    /// order (the per-bus body shared by the dense scan and the dirty
+    /// set). The caller has already filtered on compactability.
+    fn collect_bus_moves(
+        &self,
+        id: VirtualBusId,
+        bus: &VirtualBus,
+        phase: Phase,
+        only_node: Option<NodeId>,
+        out: &mut Vec<MoveCmd>,
+    ) {
+        let ring = self.ring();
+        for j in 0..bus.heights.len() {
+            let node = bus.hop_upstream_node(ring, j);
+            if let Some(only) = only_node {
+                if node != only {
                     continue;
                 }
-                let ctx = self.hop_context(bus, j);
-                if ctx.switchable_down().is_some() {
-                    let to = height.lower().expect("switchable implies not bottom");
-                    out.push((id, j, height, to, node.as_usize()));
+            }
+            let height = bus.heights[j];
+            if !assessed_in_phase(node, height, phase) {
+                continue;
+            }
+            let ctx = self.hop_context(bus, j);
+            if ctx.switchable_down().is_some() {
+                let to = height.lower().expect("switchable implies not bottom");
+                out.push((id, j, height, to, node.as_usize()));
+            }
+        }
+    }
+
+    /// Collects eligible moves for `phase` by walking only the dirty set
+    /// (buses a wake-up event touched since they last assessed clean).
+    ///
+    /// Equivalence with the dense scan: the dirty list is kept in
+    /// ascending id order and per-bus hops ascend, so the collected moves
+    /// come out in exactly the dense order; and a clean bus cannot have
+    /// an eligible move, because every event that can *enable* a move —
+    /// segment release or repair below a hop, a state change into a
+    /// compactable state, an extension, one of the bus's own hops moving
+    /// — re-marks the bus, and a bus only goes clean after assessing
+    /// empty in both the odd and even phase. See DESIGN.md.
+    fn collect_dirty_moves(&mut self, phase: Phase, out: &mut Vec<MoveCmd>) {
+        self.flush_compaction_wakes();
+        out.clear();
+        let mut dirty = std::mem::take(&mut self.sched.compact_dirty);
+        let mut kept = 0usize;
+        for i in 0..dirty.len() {
+            let id = dirty[i];
+            let Some(slot) = self.buses.slot(id) else {
+                // The bus died; its slot (and flags) may already belong
+                // to a successor, so just drop the entry.
+                continue;
+            };
+            let before = out.len();
+            let eligible = {
+                let bus = self.buses.get(id).expect("slot implies live");
+                let ok = bus.state.compactable()
+                    && (self.cfg.early_compaction || !bus.state.pre_hack());
+                if ok {
+                    self.collect_bus_moves(id, bus, phase, None, out);
+                }
+                ok
+            };
+            if !eligible {
+                // Not assessable yet (or a torn-down straggler): the
+                // state change that makes it assessable re-marks it.
+                self.sched.dirty[slot] = false;
+                continue;
+            }
+            if out.len() > before {
+                self.sched.clean_streak[slot] = 0;
+                dirty[kept] = id;
+                kept += 1;
+            } else {
+                let streak = &mut self.sched.clean_streak[slot];
+                *streak += 1;
+                if *streak >= 2 {
+                    // No move in either cycle phase: nothing to do until
+                    // an enabling event re-marks this bus.
+                    self.sched.dirty[slot] = false;
+                } else {
+                    dirty[kept] = id;
+                    kept += 1;
                 }
             }
         }
+        dirty.truncate(kept);
+        self.sched.compact_dirty = dirty;
     }
 
     /// The compaction context of hop `j` of `bus`.
@@ -1811,6 +2318,7 @@ impl RmbNetwork {
         // availability pool; the free count comes back on repair.
         if self.fault_count[idx] == 0 {
             self.free_per_hop[hop] += 1;
+            self.wake_above(hop, bus);
         }
     }
 

@@ -22,6 +22,27 @@
 use crate::network::{CompactionMode, RmbNetwork};
 use rmb_types::{FaultPlan, RmbConfig};
 
+/// Which per-tick execution engine drives the network.
+///
+/// Both engines implement the same protocol and produce byte-identical
+/// results — same delivered log, same traces, same [`RunReport`] — so
+/// [`DenseSweep`](SchedulerMode::DenseSweep) serves as the cross-check
+/// oracle for the default event-driven engine (see the scheduler
+/// equivalence suite).
+///
+/// [`RunReport`]: crate::RunReport
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Event-driven active set: per-tick cost scales with the circuits
+    /// that actually have due work (flit/ack motion, compaction moves,
+    /// due injections or faults), not with N×k. The default.
+    #[default]
+    EventDriven,
+    /// The classic dense sweep: every tick scans all N INCs and every
+    /// live bus. Kept as the reference oracle and for perf comparison.
+    DenseSweep,
+}
+
 /// Runtime options of a simulation, distinct from the physical
 /// configuration in [`RmbConfig`]: everything here changes how the run is
 /// *driven* (compaction engine, fault schedule, instrumentation), not what
@@ -53,6 +74,9 @@ pub struct SimOptions {
     /// Abort a request after this many refusals (`None` = retry forever,
     /// the classic protocol behaviour).
     pub max_retries: Option<u32>,
+    /// Which per-tick execution engine to use. Event-driven by default;
+    /// the dense sweep is the equivalence oracle.
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for SimOptions {
@@ -65,6 +89,7 @@ impl Default for SimOptions {
             fault_plan: FaultPlan::new(),
             fault_seed: 0,
             max_retries: None,
+            scheduler: SchedulerMode::EventDriven,
         }
     }
 }
@@ -140,6 +165,14 @@ impl RmbNetworkBuilder {
         self
     }
 
+    /// Selects the per-tick execution engine (event-driven active set or
+    /// the dense-sweep oracle).
+    #[must_use]
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.opts.scheduler = mode;
+        self
+    }
+
     /// The options accumulated so far.
     pub fn options(&self) -> &SimOptions {
         &self.opts
@@ -172,6 +205,7 @@ mod tests {
         assert!(!opts.recording);
         assert!(opts.fault_plan.is_empty());
         assert_eq!(opts.max_retries, None);
+        assert_eq!(opts.scheduler, SchedulerMode::EventDriven);
     }
 
     #[test]
@@ -184,8 +218,10 @@ mod tests {
             .recording(true)
             .fault_plan(plan.clone())
             .fault_seed(7)
-            .max_retries(3);
+            .max_retries(3)
+            .scheduler(SchedulerMode::DenseSweep);
         let o = b.options();
+        assert_eq!(o.scheduler, SchedulerMode::DenseSweep);
         assert!(!o.fast_forward);
         assert!(o.checked);
         assert!(o.recording);

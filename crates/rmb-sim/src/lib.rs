@@ -8,6 +8,11 @@
 //! * [`EventQueue`] — a stable discrete-event priority queue for models
 //!   that are event-driven rather than tick-stepped (e.g. the fat-tree's
 //!   variable link lengths).
+//! * [`TimingWheel`] — the hierarchical timing wheel underneath
+//!   [`EventQueue`]: O(1) schedule/pop for near-future events plus an
+//!   O(1) lower-bound peek, used by the event-driven protocol scheduler.
+//! * [`IdSlab`] — flat id-keyed storage with sorted, allocation-free id
+//!   iteration for hot per-entity loops.
 //! * [`SimRng`] — seeded, stream-splittable randomness so that every
 //!   experiment is reproducible from a single seed.
 //! * [`stats`] — counters, online moments, histograms and time series used
@@ -35,10 +40,14 @@ mod clock;
 pub mod par;
 mod queue;
 mod rng;
+mod slab;
 pub mod stats;
 pub mod trace;
+mod wheel;
 
 pub use clock::Tick;
 pub use par::{par_map, par_map_with};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use slab::IdSlab;
+pub use wheel::TimingWheel;

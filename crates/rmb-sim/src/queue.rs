@@ -1,8 +1,7 @@
 //! A stable discrete-event priority queue.
 
 use crate::clock::Tick;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::wheel::TimingWheel;
 
 /// An event queue ordered by [`Tick`], FIFO among events scheduled for the
 /// same tick.
@@ -10,6 +9,12 @@ use std::collections::BinaryHeap;
 /// Stability matters for reproducibility: two events at the same tick are
 /// delivered in the order they were scheduled, so a simulation's outcome is
 /// a pure function of its inputs and seed.
+///
+/// Since PR 4 this is a thin wrapper over the hierarchical
+/// [`TimingWheel`], giving O(1) schedule and O(1) amortised pops for
+/// near-future events instead of the former binary heap's O(log n); the
+/// ordering contract is unchanged. Use [`TimingWheel`] directly when you
+/// also need its O(1) [`peek_hint`](TimingWheel::peek_hint).
 ///
 /// # Examples
 ///
@@ -23,95 +28,51 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    sequence: u64,
-}
-
-#[derive(Debug, Clone)]
-struct Entry<E> {
-    at: Tick,
-    sequence: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.sequence == other.sequence
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest tick and, within
-        // a tick, the lowest sequence number pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.sequence.cmp(&self.sequence))
-    }
-}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    wheel: TimingWheel<E>,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            sequence: 0,
+            wheel: TimingWheel::new(),
         }
     }
 
     /// Schedules `event` to fire at tick `at`.
     pub fn schedule(&mut self, at: Tick, event: E) {
-        let sequence = self.sequence;
-        self.sequence += 1;
-        self.heap.push(Entry {
-            at,
-            sequence,
-            event,
-        });
+        self.wheel.schedule(at, event);
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Tick, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.wheel.pop()
     }
 
     /// Removes and returns the earliest event only if it fires at or before
     /// `now`.
     pub fn pop_due(&mut self, now: Tick) -> Option<(Tick, E)> {
-        if self.next_tick()? <= now {
-            self.pop()
-        } else {
-            None
-        }
+        self.wheel.pop_due(now)
     }
 
     /// The tick of the earliest pending event.
     pub fn next_tick(&self) -> Option<Tick> {
-        self.heap.peek().map(|e| e.at)
+        self.wheel.earliest()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
     }
 }
 

@@ -1,23 +1,56 @@
 #!/usr/bin/env bash
 # Quick performance smoke: release build, the two hot-path bench suites
-# with a short sampling window, and the perf lint gate. Intended as the
-# pre-merge check for changes touching rmb-core's tick path; full runs
-# use plain `cargo bench`.
+# with a short sampling window, the scheduler-equivalence smoke, a
+# regression gate against the recorded PR 2 baseline, and the perf lint
+# gate. Intended as the pre-merge check for changes touching rmb-core's
+# tick path; full runs use plain `cargo bench`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== clippy (perf lints as errors) =="
 cargo clippy --workspace --all-targets -- -D clippy::perf
 
-echo "== clippy (all warnings as errors on the fault/builder path) =="
-cargo clippy -p rmb-types -p rmb-workloads -- -D warnings
+echo "== clippy (all warnings as errors on the scheduler/fault/builder path) =="
+cargo clippy -p rmb-types -p rmb-workloads -p rmb-sim -p rmb-core -p rmb-bench \
+  --all-targets -- -D warnings
+
+echo "== scheduler equivalence (event engine vs dense-sweep oracle) =="
+cargo test -q -p rmb-core --test scheduler_equivalence
 
 echo "== release build =="
 cargo build --release -p rmb-bench --benches
 
 echo "== rmb_protocol + cycle_machine (short window) =="
-CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench rmb_protocol
+bench_json="$(mktemp)"
+trap 'rm -f "$bench_json"' EXIT
+CRITERION_JSON="$bench_json" CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" \
+  cargo bench -p rmb-bench --bench rmb_protocol
 CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench cycle_machine
+
+echo "== regression gate (rmb_tick/loaded/N64_k4 vs BENCH_PR2.json) =="
+# The saturated N=64, k=4 tick is the reference hot-path number. Fail if
+# the just-measured median exceeds the recorded baseline by more than
+# BENCH_GATE_FACTOR (default 1.10 = +10%). Short sampling windows are
+# noisy, so the factor is overridable for slow machines.
+gate_bench="rmb_tick/loaded/N64_k4"
+baseline="$(awk -F'"after_median_ns": ' '
+  /"benchmark": "rmb_tick\/loaded\/N64_k4"/ { grab = 1 }
+  grab && NF > 1 { split($2, a, ","); print a[1]; exit }
+' BENCH_PR2.json)"
+measured="$(awk -F'"median_ns": ' '
+  /"name": "rmb_tick\/loaded\/N64_k4"/ && NF > 1 { split($2, a, ","); print a[1]; exit }
+' "$bench_json")"
+if [[ -z "$baseline" || -z "$measured" ]]; then
+  echo "regression gate: could not extract $gate_bench medians" >&2
+  exit 1
+fi
+factor="${BENCH_GATE_FACTOR:-1.10}"
+awk -v m="$measured" -v b="$baseline" -v f="$factor" 'BEGIN {
+  limit = b * f
+  printf "%s: measured %.1f ns, baseline %.1f ns, limit %.1f ns\n",
+    "rmb_tick/loaded/N64_k4", m, b, limit
+  exit (m > limit) ? 1 : 0
+}' || { echo "regression gate FAILED for $gate_bench" >&2; exit 1; }
 
 echo "== fault-tolerance sweep (tiny size) =="
 ft_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \
