@@ -15,7 +15,8 @@
 use rmb_bench::experiments::{
     ablation_suite, ablation_table, competitiveness, competitiveness_table, deadlock_study,
     fault_tolerance_experiment, fault_tolerance_table, grid_experiment, grid_table,
-    hotspot_experiment, hotspot_table, lemma1_experiment, load_sweep, load_table,
+    hier_scaling_experiment, hier_scaling_table, hotspot_experiment, hotspot_table,
+    lemma1_experiment, load_sweep, load_table,
     multi_send_experiment, multi_send_table, multicast_experiment, multicast_table,
     permutation_comparison, permutation_table, scaling_experiment, scaling_table,
     theorem1_experiment, wire_delay_experiment, wire_delay_table,
@@ -62,7 +63,7 @@ fn parse() -> Options {
                     "usage: experiments [--exp lemma1|theorem1|permutation|\
                      competitiveness|ablation|load|deadlock|multicast|\
                      wire-delay|grid|multi-send|hotspot|scaling|\
-                     fault-tolerance|all] \
+                     fault-tolerance|hier-scaling|all] \
                      [--n N] [--k K] [--flits F] [--seed S]"
                 );
                 std::process::exit(2);
@@ -192,6 +193,19 @@ fn main() {
         }
         let rows = fault_tolerance_experiment(&sizes, &fractions, opt.flits, opt.seed);
         emit(opt.json, "fault-tolerance", &rows, fault_tolerance_table(&rows));
+    }
+    if all || opt.exp == "hier-scaling" {
+        // Per-ring size from --n (capped), buses from --k; flat total is
+        // rings * n.
+        let n = opt.n.min(16);
+        let k = opt.k.min(4);
+        if !opt.json {
+            println!("Hierarchical scaling — bridged rings vs flat ring (n/ring = {n}, k = {k}):\n");
+        }
+        let shapes = [(2, n, k), (4, n, k)];
+        let localities = [0.0, 0.5, 0.8, 0.95];
+        let rows = hier_scaling_experiment(&shapes, &localities, opt.flits.min(8), opt.seed);
+        emit(opt.json, "hier-scaling", &rows, hier_scaling_table(&rows));
     }
     if all || opt.exp == "deadlock" {
         if !opt.json {

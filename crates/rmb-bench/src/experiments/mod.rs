@@ -10,6 +10,7 @@ mod competitive;
 mod deadlock;
 mod extensions;
 mod fault_tolerance;
+mod hier_scaling;
 mod lemma1;
 mod load;
 mod permutation;
@@ -28,6 +29,7 @@ pub use extensions::{
 pub use fault_tolerance::{
     fault_tolerance_experiment, fault_tolerance_table, FaultToleranceRow,
 };
+pub use hier_scaling::{hier_scaling_experiment, hier_scaling_table, HierScalingRow};
 pub use lemma1::{lemma1_experiment, Lemma1Result};
 pub use load::{load_sweep, load_table, LoadPoint};
 pub use permutation::{permutation_comparison, permutation_table, PermutationRow};

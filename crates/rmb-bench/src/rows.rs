@@ -108,9 +108,9 @@ macro_rules! json_report {
 }
 
 use crate::experiments::{
-    AblationResult, CompetitivenessRow, DeadlockResult, FaultToleranceRow, GridRow, HotspotRow,
-    Lemma1Result, LoadPoint, MultiSendRow, MulticastRow, PermutationRow, ScalingRow,
-    Theorem1Result, WireDelayRow,
+    AblationResult, CompetitivenessRow, DeadlockResult, FaultToleranceRow, GridRow,
+    HierScalingRow, HotspotRow, Lemma1Result, LoadPoint, MultiSendRow, MulticastRow,
+    PermutationRow, ScalingRow, Theorem1Result, WireDelayRow,
 };
 
 json_report!(AblationResult { variant, makespan, mean_latency, refusals, stalled });
@@ -146,6 +146,22 @@ json_report!(MulticastRow { group, multicast, unicast_series });
 json_report!(WireDelayRow { network, unit_wires, layout_wires });
 json_report!(GridRow { network, segments, makespan });
 json_report!(MultiSendRow { sends, makespan });
+json_report!(HierScalingRow {
+    topology,
+    rings,
+    n,
+    total_nodes,
+    k,
+    locality,
+    messages,
+    delivered,
+    aborted,
+    bridge_refusals,
+    makespan,
+    throughput,
+    mean_latency,
+    stalled,
+});
 json_report!(FaultToleranceRow {
     n,
     k,

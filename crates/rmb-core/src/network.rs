@@ -50,8 +50,8 @@ use rmb_sim::stats::OnlineStats;
 use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
 use rmb_sim::{SimRng, Tick, TimingWheel};
 use rmb_types::{
-    AckMode, BusIndex, DeliveredMessage, FaultKind, InsertionPolicy, MessageSpec, NodeId,
-    ProtocolError, RequestId, RingSize, RmbConfig, VirtualBusId,
+    AbortedMessage, AckMode, BusIndex, DeliveredMessage, FaultKind, InsertionPolicy, MessageSpec,
+    NodeId, ProtocolError, RequestId, RingSize, RmbConfig, VirtualBusId,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -389,7 +389,7 @@ pub struct RmbNetwork {
     buses: BusSlab,
     nodes: Vec<NodeState>,
     /// Runtime options (compaction engine, fault schedule, tracing,
-    /// checking). The deprecated setters and the builder both end here.
+    /// checking), fixed at build time by [`RmbNetworkBuilder`].
     opts: SimOptions,
     cycles: Option<CycleRing>,
     next_request: u64,
@@ -422,6 +422,9 @@ pub struct RmbNetwork {
     first_kill: HashMap<u64, u64>,
     // Counters and stats.
     delivered: Vec<DeliveredMessage>,
+    /// Terminal failures, in abort order (mirrors `delivered` for the
+    /// failure path; read through [`RmbNetwork::aborted_log`]).
+    aborted_log: Vec<AbortedMessage>,
     refusals: u64,
     compaction_moves: u64,
     retries: u64,
@@ -513,6 +516,7 @@ impl RmbNetwork {
             fault_rng: SimRng::seed(fault_seed),
             first_kill: HashMap::new(),
             delivered: Vec::new(),
+            aborted_log: Vec::new(),
             refusals: 0,
             compaction_moves: 0,
             retries: 0,
@@ -541,9 +545,11 @@ impl RmbNetwork {
         &self.opts
     }
 
-    /// Validates `mode` and installs it, resetting the handshake
-    /// controllers.
+    /// Validates `mode` and installs it, wiring the handshake
+    /// controllers. Only ever runs at build time, before any virtual bus
+    /// exists — options are immutable once the network is running.
     fn apply_compaction_mode(&mut self, mode: CompactionMode) {
+        debug_assert_eq!(self.buses.len(), 0, "options are fixed before first use");
         if let CompactionMode::Handshake { periods } = &mode {
             assert_eq!(
                 periods.len(),
@@ -559,54 +565,6 @@ impl RmbNetwork {
         self.track_dirty = self.event_driven
             && self.cfg.compaction
             && matches!(self.opts.compaction_mode, CompactionMode::Synchronous);
-        if self.track_dirty {
-            // Mid-run switches (deprecated setter) start from a clean
-            // dirty set: conservatively re-assess every live bus.
-            for i in 0..self.buses.len() {
-                let id = self.buses.active_id(i);
-                self.mark_dirty(id);
-            }
-        }
-    }
-
-    /// Switches the compaction engine. Resets the handshake controllers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a handshake mode's `periods` length differs from `N` or
-    /// contains a zero.
-    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
-    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
-        self.apply_compaction_mode(mode);
-    }
-
-    /// Enables or disables the idle-tick fast-forward in
-    /// [`run_to_quiescence`](Self::run_to_quiescence) — the deprecated
-    /// shim for [`SimOptions::fast_forward`](crate::SimOptions) (on by
-    /// default).
-    ///
-    /// With fast-forward on, stretches of ticks in which no circuit is
-    /// live, no pending request is due and no fault event is scheduled to
-    /// fire are skipped arithmetically: the clock jumps to the next due
-    /// tick and the skipped all-idle utilisation samples are recorded in
-    /// one step. Under the event-driven scheduler the next due tick is
-    /// read straight off the injection timing wheel and the fault
-    /// timeline; the dense sweep derives it by scanning every node's queue
-    /// front. Either way the jump only happens in synchronous compaction
-    /// mode — handshake cycle controllers mutate state every activation,
-    /// so their ticks are never no-ops — and produces the same run as
-    /// ticking through the idle stretch (the running utilisation mean may
-    /// differ in the last floating-point digit).
-    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
-    pub fn set_fast_forward(&mut self, on: bool) {
-        self.opts.fast_forward = on;
-    }
-
-    /// Starts recording protocol trace events.
-    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
-    pub fn enable_recording(&mut self) {
-        self.opts.recording = true;
-        self.recorder = Some(VecSink::new());
     }
 
     /// Takes the recorded events (and keeps recording into a fresh sink).
@@ -618,17 +576,6 @@ impl RmbNetwork {
             }
             None => Vec::new(),
         }
-    }
-
-    /// Enables per-tick invariant checking.
-    ///
-    /// # Panics
-    ///
-    /// Once enabled, `tick` panics on the first invariant violation — this
-    /// is meant for tests and small fidelity runs.
-    #[deprecated(since = "0.2.0", note = "configure via RmbNetwork::builder")]
-    pub fn set_checked(&mut self, on: bool) {
-        self.opts.checked = on;
     }
 
     /// The static configuration.
@@ -1010,6 +957,30 @@ impl RmbNetwork {
         &self.delivered
     }
 
+    /// The messages aborted so far (retry budget exhausted, or refused at
+    /// a fault-blocked source past the budget), in abort order. Grows
+    /// monotonically, like [`delivered_log`](Self::delivered_log).
+    ///
+    /// One record is kept per request — a multicast abort still counts
+    /// each covered destination in [`RunReport::aborted`], but appears
+    /// here once under its final destination.
+    pub fn aborted_log(&self) -> &[AbortedMessage] {
+        &self.aborted_log
+    }
+
+    /// Delivery hook for compositions driving this ring externally (the
+    /// `rmb-hier` bridges): the deliveries recorded since a cursor
+    /// previously obtained as `delivered_log().len()`. Out-of-range
+    /// cursors yield an empty slice.
+    pub fn delivered_since(&self, cursor: usize) -> &[DeliveredMessage] {
+        &self.delivered[cursor.min(self.delivered.len())..]
+    }
+
+    /// Abort-side counterpart of [`delivered_since`](Self::delivered_since).
+    pub fn aborted_since(&self, cursor: usize) -> &[AbortedMessage] {
+        &self.aborted_log[cursor.min(self.aborted_log.len())..]
+    }
+
     /// Histogram of end-to-end latencies of the messages delivered so
     /// far, with the given bin width (64 bins plus overflow).
     pub fn latency_histogram(&self, bin_width: u64) -> rmb_sim::stats::Histogram {
@@ -1253,6 +1224,12 @@ impl RmbNetwork {
         self.last_progress = now;
         if self.opts.max_retries.is_some_and(|limit| p.refusals > limit) {
             self.aborted += 1 + p.taps.len();
+            self.aborted_log.push(AbortedMessage {
+                request: p.request,
+                spec: p.spec,
+                aborted_at: now,
+                refusals: p.refusals,
+            });
             self.first_kill.remove(&p.request.get());
             if let Some(rec) = &mut self.recorder {
                 rec.record(TraceEvent {
@@ -1592,6 +1569,12 @@ impl RmbNetwork {
                         // Retry budget exhausted: drop the request for
                         // good, counting every destination it covered.
                         self.aborted += 1 + bus.taps.len();
+                        self.aborted_log.push(AbortedMessage {
+                            request: bus.request,
+                            spec: bus.spec,
+                            aborted_at: now,
+                            refusals,
+                        });
                         self.first_kill.remove(&bus.request.get());
                         self.trace(
                             TraceKind::Abort,

@@ -1,9 +1,8 @@
 //! Simulation options and the network builder.
 //!
-//! Historically the simulator was configured through post-construction
-//! setter toggles (`set_compaction_mode`, `set_fast_forward`, ...). Those
-//! remain as deprecated shims; the supported surface is now a typed
-//! builder consumed at construction:
+//! The simulator is configured through a typed builder consumed at
+//! construction; options are immutable once the network is running (the
+//! pre-0.2.0 post-construction setters are gone):
 //!
 //! ```
 //! use rmb_core::RmbNetwork;
@@ -16,8 +15,7 @@
 //! ```
 //!
 //! [`SimOptions`] is the one internal options struct everything delegates
-//! to: the builder fills it, the deprecated setters mutate it, and the
-//! network reads it.
+//! to: the builder fills it and the network reads it.
 
 use crate::network::{CompactionMode, RmbNetwork};
 use rmb_types::{FaultPlan, RmbConfig};

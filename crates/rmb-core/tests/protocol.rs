@@ -517,28 +517,4 @@ mod builder_misuse {
         assert!(cfg2.compaction);
     }
 
-    /// The pre-builder setter surface still works (as deprecated shims
-    /// delegating to the same options struct the builder fills).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_configure_the_network() {
-        let mut net = RmbNetwork::new(RmbConfig::new(8, 2).unwrap());
-        net.set_checked(true);
-        net.set_fast_forward(false);
-        net.enable_recording();
-        net.set_compaction_mode(CompactionMode::Handshake {
-            periods: vec![1; 8],
-        });
-        assert!(net.options().checked);
-        assert!(!net.options().fast_forward);
-        assert!(net.options().recording);
-        assert!(matches!(
-            net.options().compaction_mode,
-            CompactionMode::Handshake { .. }
-        ));
-        net.submit(msg(0, 3, 2)).unwrap();
-        let report = net.run_to_quiescence(10_000);
-        assert_eq!(report.delivered, 1);
-        assert!(!net.take_events().is_empty(), "recording was enabled");
-    }
 }

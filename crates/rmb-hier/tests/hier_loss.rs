@@ -1,0 +1,90 @@
+//! No-silent-loss property: under random locality and random per-ring
+//! fault schedules, every injected message must end in exactly one
+//! terminal state — delivered once, or aborted with a `ProtocolError`
+//! naming the failing leg. Nothing may vanish, duplicate, or hang.
+
+use proptest::prelude::*;
+use rmb_hier::HierNetwork;
+use rmb_sim::SimRng;
+use rmb_types::{HierConfig, ProtocolError, RequestId};
+use rmb_workloads::{FaultScenario, LocalityTraffic};
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_message_is_delivered_or_aborted_with_a_named_leg(
+        rings in 2u32..5,
+        nodes in 4u32..10,
+        k in 1u16..4,
+        locality_pct in 0u32..101,
+        fault_fraction in 0u32..35,
+        permanent in any::<bool>(),
+        count in 10usize..60,
+        seed in any::<u64>(),
+    ) {
+        let cfg = HierConfig::builder(rings, nodes, k)
+            .bridge_queue_depth(2)
+            .build()
+            .unwrap();
+        let scenario = FaultScenario {
+            fraction: f64::from(fault_fraction) / 100.0,
+            horizon: 3_000,
+            outage: if permanent { None } else { Some(500) },
+        };
+        let mut rng = SimRng::seed(seed);
+        let mut builder = HierNetwork::builder(cfg)
+            .checked(true)
+            .fault_seed(seed)
+            .leg_max_retries(4);
+        for r in 0..rings {
+            builder = builder.local_fault_plan(r, scenario.draw(nodes, k, &mut rng));
+        }
+        builder = builder.global_fault_plan(scenario.draw(rings, k, &mut rng));
+        let mut net = builder.build();
+
+        let msgs = LocalityTraffic {
+            rings,
+            nodes,
+            bridge: rmb_types::NodeId::new(0),
+            locality: f64::from(locality_pct) / 100.0,
+            flits: 6,
+        }
+        .generate(count, 1_500, &mut rng);
+        let ids = net.submit_all(msgs).unwrap();
+        let report = net.run_to_quiescence(10_000_000);
+
+        // Exactly-once: terminal states partition the submitted set.
+        prop_assert!(!report.stalled, "stalled: {report:?}");
+        prop_assert_eq!(report.delivered + report.aborted, count);
+        prop_assert_eq!(report.undelivered, 0);
+        prop_assert!(net.is_quiescent());
+
+        let mut seen: HashSet<RequestId> = HashSet::new();
+        for d in net.delivered_log() {
+            prop_assert!(seen.insert(d.request), "duplicate delivery {:?}", d.request);
+        }
+        for a in net.aborted_log() {
+            prop_assert!(seen.insert(a.request), "delivered AND aborted {:?}", a.request);
+            // Every abort names its failing leg and ring.
+            match a.error {
+                ProtocolError::LegAborted { leg, ring, request } => {
+                    prop_assert_eq!(request, a.request);
+                    if a.spec.is_intra_ring() {
+                        prop_assert_eq!(ring, Some(a.spec.source.ring));
+                    }
+                    let _ = leg; // any leg can fail; naming it is the contract
+                }
+                other => prop_assert!(false, "expected LegAborted, got {:?}", other),
+            }
+        }
+        let all: HashSet<RequestId> = ids.into_iter().collect();
+        prop_assert_eq!(seen, all, "terminal set must equal the submitted set");
+
+        // All bridge slots returned once quiescent.
+        for r in 0..rings {
+            prop_assert_eq!(net.bridge_load(r), (0, 0));
+        }
+    }
+}

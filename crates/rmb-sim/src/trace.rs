@@ -56,6 +56,13 @@ pub enum TraceKind {
     FaultKill,
     /// A request exhausted its retry budget and was dropped.
     Abort,
+    /// A message finished a leg of a hierarchical route and entered a
+    /// bridge INC's bounded queue.
+    BridgeIngress,
+    /// A message left a bridge queue to start its next leg (or was
+    /// refused because the downstream bridge queue was full — see the
+    /// event detail).
+    BridgeEgress,
 }
 
 impl fmt::Display for TraceKind {
@@ -73,6 +80,8 @@ impl fmt::Display for TraceKind {
             TraceKind::FaultRepair => "fault-repair",
             TraceKind::FaultKill => "fault-kill",
             TraceKind::Abort => "abort",
+            TraceKind::BridgeIngress => "bridge-ingress",
+            TraceKind::BridgeEgress => "bridge-egress",
         };
         f.write_str(s)
     }
@@ -216,5 +225,7 @@ mod tests {
         assert_eq!(TraceKind::FaultRepair.to_string(), "fault-repair");
         assert_eq!(TraceKind::FaultKill.to_string(), "fault-kill");
         assert_eq!(TraceKind::Abort.to_string(), "abort");
+        assert_eq!(TraceKind::BridgeIngress.to_string(), "bridge-ingress");
+        assert_eq!(TraceKind::BridgeEgress.to_string(), "bridge-egress");
     }
 }

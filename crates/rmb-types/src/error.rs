@@ -7,6 +7,7 @@
 //! request, hop and bus involved — so callers can react programmatically
 //! instead of parsing messages.
 
+use crate::hier::{HierLeg, NodeAddr};
 use crate::ids::{BusIndex, NodeId, RequestId};
 use std::error::Error;
 use std::fmt;
@@ -88,6 +89,24 @@ pub enum ProtocolError {
         /// The request that lost the port, when known.
         request: Option<RequestId>,
     },
+    /// A hierarchical endpoint lies outside the network's address space,
+    /// or names a bridge position (bridges host no PE).
+    UnknownAddress {
+        /// The rejected address.
+        addr: NodeAddr,
+        /// The request being validated, when one was already assigned.
+        request: Option<RequestId>,
+    },
+    /// One leg of a hierarchical route aborted permanently (its ring's
+    /// retry budget was exhausted), taking the end-to-end message with it.
+    LegAborted {
+        /// Which leg of the route failed.
+        leg: HierLeg,
+        /// The local ring the leg ran on; `None` for the global ring.
+        ring: Option<u32>,
+        /// The end-to-end hierarchical request.
+        request: RequestId,
+    },
 }
 
 impl ProtocolError {
@@ -120,6 +139,16 @@ impl ProtocolError {
         }
     }
 
+    /// A bad hierarchical endpoint, with no request context yet.
+    pub fn unknown_address(addr: NodeAddr) -> Self {
+        ProtocolError::UnknownAddress { addr, request: None }
+    }
+
+    /// A permanently failed leg of a hierarchical route.
+    pub fn leg_aborted(leg: HierLeg, ring: Option<u32>, request: RequestId) -> Self {
+        ProtocolError::LegAborted { leg, ring, request }
+    }
+
     /// Attaches a request id to variants that can carry one; a no-op for
     /// the rest.
     #[must_use]
@@ -127,8 +156,11 @@ impl ProtocolError {
         match &mut self {
             ProtocolError::UnknownNode { request, .. }
             | ProtocolError::SelfMessage { request, .. }
-            | ProtocolError::PortBusy { request, .. } => *request = Some(id),
-            ProtocolError::UnknownBus { .. } | ProtocolError::UnknownRequest { .. } => {}
+            | ProtocolError::PortBusy { request, .. }
+            | ProtocolError::UnknownAddress { request, .. } => *request = Some(id),
+            ProtocolError::UnknownBus { .. }
+            | ProtocolError::UnknownRequest { .. }
+            | ProtocolError::LegAborted { .. } => {}
         }
         self
     }
@@ -148,8 +180,10 @@ impl ProtocolError {
         match self {
             ProtocolError::UnknownNode { request, .. }
             | ProtocolError::SelfMessage { request, .. }
-            | ProtocolError::PortBusy { request, .. } => *request,
-            ProtocolError::UnknownRequest { request } => Some(*request),
+            | ProtocolError::PortBusy { request, .. }
+            | ProtocolError::UnknownAddress { request, .. } => *request,
+            ProtocolError::UnknownRequest { request }
+            | ProtocolError::LegAborted { request, .. } => Some(*request),
             ProtocolError::UnknownBus { .. } => None,
         }
     }
@@ -161,7 +195,16 @@ impl ProtocolError {
             | ProtocolError::SelfMessage { node, .. }
             | ProtocolError::PortBusy { node, .. } => Some(*node),
             ProtocolError::UnknownBus { hop, .. } => *hop,
-            ProtocolError::UnknownRequest { .. } => None,
+            ProtocolError::UnknownAddress { addr, .. } => Some(addr.node),
+            ProtocolError::UnknownRequest { .. } | ProtocolError::LegAborted { .. } => None,
+        }
+    }
+
+    /// The failed hierarchical leg, for [`ProtocolError::LegAborted`].
+    pub fn leg(&self) -> Option<HierLeg> {
+        match self {
+            ProtocolError::LegAborted { leg, .. } => Some(*leg),
+            _ => None,
         }
     }
 
@@ -218,6 +261,20 @@ impl fmt::Display for ProtocolError {
                     ForRequest(*request)
                 )
             }
+            ProtocolError::UnknownAddress { addr, request } => {
+                write!(
+                    f,
+                    "address {addr} is outside the hierarchy or names a bridge{}",
+                    ForRequest(*request)
+                )
+            }
+            ProtocolError::LegAborted { leg, ring, request } => {
+                write!(f, "{leg} leg")?;
+                if let Some(r) = ring {
+                    write!(f, " on ring {r}")?;
+                }
+                write!(f, " aborted for {request}")
+            }
         }
     }
 }
@@ -246,6 +303,10 @@ mod tests {
             ProtocolError::unknown_bus(BusIndex::new(7))
                 .at_hop(NodeId::new(2))
                 .to_string(),
+            ProtocolError::unknown_address(NodeAddr::new(2, NodeId::new(0))).to_string(),
+            ProtocolError::leg_aborted(HierLeg::Global, None, RequestId::new(7)).to_string(),
+            ProtocolError::leg_aborted(HierLeg::SourceLocal, Some(3), RequestId::new(7))
+                .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
@@ -269,6 +330,15 @@ mod tests {
         // `with_request` is a no-op for variants without a request slot.
         let e = ProtocolError::unknown_bus(BusIndex::new(5)).with_request(RequestId::new(1));
         assert_eq!(e.request(), None);
+
+        let e = ProtocolError::leg_aborted(HierLeg::DestLocal, Some(1), RequestId::new(9));
+        assert_eq!(e.leg(), Some(HierLeg::DestLocal));
+        assert_eq!(e.request(), Some(RequestId::new(9)));
+        assert!(e.to_string().contains("dest-local leg on ring 1"));
+
+        let e = ProtocolError::unknown_address(NodeAddr::new(0, NodeId::new(3)));
+        assert_eq!(e.node(), Some(NodeId::new(3)));
+        assert_eq!(e.leg(), None);
     }
 
     #[test]

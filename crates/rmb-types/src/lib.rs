@@ -28,6 +28,7 @@ mod config;
 mod error;
 mod fault;
 mod flit;
+mod hier;
 mod ids;
 pub mod json;
 mod message;
@@ -36,5 +37,6 @@ pub use config::{AckMode, InsertionPolicy, NodeConfig, RmbConfig, RmbConfigBuild
 pub use error::{ConfigError, ProtocolError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use flit::{Ack, AckKind, Flit, FlitKind, FlitPayload};
+pub use hier::{HierConfig, HierConfigBuilder, HierConfigError, HierLeg, HierMessageSpec, NodeAddr};
 pub use ids::{BusIndex, NodeId, RequestId, RingSize, VirtualBusId};
-pub use message::{DeliveredMessage, MessageSpec, MessageStatus};
+pub use message::{AbortedMessage, DeliveredMessage, MessageSpec, MessageStatus};

@@ -117,6 +117,23 @@ impl DeliveredMessage {
     }
 }
 
+/// Terminal record for a message that was given up on: either refused at
+/// the source while its path was fault-blocked, or torn down after its
+/// retry budget ran out. Mirrors [`DeliveredMessage`] for the failure
+/// path so compositions (bridged rings, scripted drivers) can account
+/// for every request without scraping the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbortedMessage {
+    /// The request that carried the message.
+    pub request: RequestId,
+    /// The original specification.
+    pub spec: MessageSpec,
+    /// Tick at which the engine recorded the abort.
+    pub aborted_at: u64,
+    /// Number of `Nack` refusals suffered before the abort.
+    pub refusals: u32,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

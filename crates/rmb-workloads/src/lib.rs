@@ -24,12 +24,14 @@
 
 mod arrival;
 mod faults;
+mod locality;
 mod permutation;
 mod sizes;
 mod suite;
 
 pub use arrival::{ArrivalProcess, BernoulliArrivals};
 pub use faults::FaultScenario;
+pub use locality::LocalityTraffic;
 pub use permutation::{Permutation, PermutationKind};
 pub use sizes::SizeDistribution;
 pub use suite::{WorkloadConfig, WorkloadSuite};

@@ -1,0 +1,132 @@
+//! Locality-parameterized traffic for hierarchical (multi-ring) RMBs.
+//!
+//! Hierarchical composition only pays off when most traffic stays on its
+//! local ring; this generator makes that a knob. A fraction `locality`
+//! of messages pick their destination on the source's own ring, the rest
+//! pick a uniformly random *other* ring — bridge positions are never
+//! endpoints. The same seeded-RNG discipline as the other generators
+//! applies: same seed, same workload, on every platform.
+
+use rmb_sim::SimRng;
+use rmb_types::{HierMessageSpec, NodeAddr, NodeId};
+
+/// Generator of random hierarchical traffic with tunable ring locality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityTraffic {
+    /// Number of local rings.
+    pub rings: u32,
+    /// Nodes per local ring, bridge included.
+    pub nodes: u32,
+    /// Bridge position on each local ring (excluded from endpoints).
+    pub bridge: NodeId,
+    /// Probability that a message stays on its source's ring (clamped to
+    /// `0.0..=1.0`).
+    pub locality: f64,
+    /// Data flits per message.
+    pub flits: u32,
+}
+
+impl LocalityTraffic {
+    /// Generates `count` messages with injection times drawn uniformly
+    /// from `0..spread.max(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology has no valid endpoint pairs: fewer than
+    /// two rings, or fewer than two non-bridge nodes per ring.
+    pub fn generate(&self, count: usize, spread: u64, rng: &mut SimRng) -> Vec<HierMessageSpec> {
+        assert!(self.rings >= 2, "a hierarchy needs at least 2 rings");
+        assert!(
+            self.nodes >= 3 && self.bridge.index() < self.nodes,
+            "need at least two non-bridge nodes per ring"
+        );
+        let p = self.locality.clamp(0.0, 1.0);
+        (0..count)
+            .map(|_| {
+                let src = NodeAddr::new(self.pick_ring(rng), self.pick_node(rng, None));
+                let dst = if rng.chance(p) {
+                    // Intra-ring: any other non-bridge node on the ring.
+                    NodeAddr::new(src.ring, self.pick_node(rng, Some(src.node)))
+                } else {
+                    // Inter-ring: a uniformly random other ring.
+                    let hop = 1 + rng.index(self.rings as usize - 1).unwrap_or(0) as u32;
+                    NodeAddr::new((src.ring + hop) % self.rings, self.pick_node(rng, None))
+                };
+                let at = rng.index(spread.max(1) as usize).unwrap_or(0) as u64;
+                HierMessageSpec::new(src, dst, self.flits).at(at)
+            })
+            .collect()
+    }
+
+    fn pick_ring(&self, rng: &mut SimRng) -> u32 {
+        rng.index(self.rings as usize).unwrap_or(0) as u32
+    }
+
+    /// A uniformly random node on a ring, never the bridge and never
+    /// `exclude`.
+    fn pick_node(&self, rng: &mut SimRng, exclude: Option<NodeId>) -> NodeId {
+        loop {
+            let n = NodeId::new(rng.index(self.nodes as usize).unwrap_or(0) as u32);
+            if n != self.bridge && Some(n) != exclude {
+                return n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(locality: f64) -> LocalityTraffic {
+        LocalityTraffic {
+            rings: 4,
+            nodes: 16,
+            bridge: NodeId::new(0),
+            locality,
+            flits: 8,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = traffic(0.8);
+        let a = t.generate(200, 500, &mut SimRng::seed(11));
+        let b = t.generate(200, 500, &mut SimRng::seed(11));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn endpoints_are_valid_and_never_bridges() {
+        let t = traffic(0.5);
+        for m in t.generate(500, 100, &mut SimRng::seed(3)) {
+            assert!(m.source.ring < 4 && m.destination.ring < 4);
+            assert!(m.source.node.index() < 16 && m.destination.node.index() < 16);
+            assert_ne!(m.source.node, t.bridge);
+            assert_ne!(m.destination.node, t.bridge);
+            assert_ne!(m.source, m.destination);
+            assert!(m.inject_at < 100);
+            assert_eq!(m.data_flits, 8);
+        }
+    }
+
+    #[test]
+    fn locality_knob_controls_the_intra_fraction() {
+        let mut rng = SimRng::seed(9);
+        let all_local = traffic(1.0).generate(300, 100, &mut rng);
+        assert!(all_local.iter().all(HierMessageSpec::is_intra_ring));
+
+        let mut rng = SimRng::seed(9);
+        let all_remote = traffic(0.0).generate(300, 100, &mut rng);
+        assert!(all_remote.iter().all(|m| !m.is_intra_ring()));
+
+        let mut rng = SimRng::seed(9);
+        let mixed = traffic(0.8).generate(1000, 100, &mut rng);
+        let intra = mixed.iter().filter(|m| m.is_intra_ring()).count();
+        assert!(
+            (700..900).contains(&intra),
+            "~80% of 1000 should stay local, got {intra}"
+        );
+    }
+}

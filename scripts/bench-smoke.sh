@@ -11,8 +11,8 @@ echo "== clippy (perf lints as errors) =="
 cargo clippy --workspace --all-targets -- -D clippy::perf
 
 echo "== clippy (all warnings as errors on the scheduler/fault/builder path) =="
-cargo clippy -p rmb-types -p rmb-workloads -p rmb-sim -p rmb-core -p rmb-bench \
-  --all-targets -- -D warnings
+cargo clippy -p rmb-types -p rmb-workloads -p rmb-sim -p rmb-core -p rmb-hier \
+  -p rmb-bench --all-targets -- -D warnings
 
 echo "== scheduler equivalence (event engine vs dense-sweep oracle) =="
 cargo test -q -p rmb-core --test scheduler_equivalence
@@ -58,6 +58,15 @@ ft_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \
 grep -q '"experiment": "fault-tolerance"' <<<"$ft_json"
 if grep -q '"stalled": true' <<<"$ft_json"; then
   echo "fault-tolerance sweep stalled" >&2
+  exit 1
+fi
+
+echo "== hierarchical scaling sweep (2 rings, tiny size) =="
+hier_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \
+  --exp hier-scaling --n 8 --k 2 --flits 4 --json)"
+grep -q '"experiment": "hier-scaling"' <<<"$hier_json"
+if grep -q '"stalled": true' <<<"$hier_json"; then
+  echo "hier-scaling sweep stalled" >&2
   exit 1
 fi
 

@@ -12,6 +12,8 @@
 //! * [`asynchronous`] — a threaded RMB where every INC runs on its own OS
 //!   thread with handshake channels (the paper's independent-clock model).
 //! * [`baselines`] — hypercube / EHC / GFC / fat-tree / mesh comparators.
+//! * [`hier`] — hierarchical composition: local rings bridged through a
+//!   global ring for scale-out topologies.
 //! * [`analysis`] — §3.2 cost models and the offline-optimal scheduler.
 //! * [`workloads`] — permutations and arrival processes.
 //! * [`sim`] — the simulation substrate (ticks, events, stats, tracing).
@@ -37,6 +39,7 @@ pub use rmb_analysis as analysis;
 pub use rmb_async as asynchronous;
 pub use rmb_baselines as baselines;
 pub use rmb_core as core;
+pub use rmb_hier as hier;
 pub use rmb_sim as sim;
 pub use rmb_types as types;
 pub use rmb_workloads as workloads;
