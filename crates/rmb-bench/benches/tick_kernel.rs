@@ -1,0 +1,115 @@
+//! Criterion benchmarks of the bit-parallel tick kernel (experiment
+//! index X9): per-active-circuit tick cost and the feasibility kernels
+//! in isolation.
+//!
+//! The headline metric is **ns per active circuit per tick** at a fixed
+//! live-circuit count on rings of very different size — the kernel's
+//! budget is ≤ 10 ns per active circuit, independent of N. The
+//! `feasibility` group isolates the occupancy query itself: the packed
+//! bitmap's wrap-aware masked-range test vs the per-hop slab walk, on a
+//! ring long enough that arcs straddle `u64` word boundaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmb_core::{FeasibilityMode, RmbNetwork, SchedulerMode};
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+/// A mostly idle ring with exactly `active` long-lived streaming
+/// circuits, evenly spread; per-tick cost should track `active`, not N×k.
+fn streaming_network(n: u32, active: u32, mode: SchedulerMode) -> RmbNetwork {
+    let cfg = RmbConfig::builder(n, 8)
+        .head_timeout(8 * u64::from(n))
+        .build()
+        .expect("valid");
+    let mut net = RmbNetwork::builder(cfg).scheduler(mode).build();
+    let stride = n / active;
+    for i in 0..active {
+        let s = i * stride;
+        // Long enough to outlive any benchmark run (one flit per tick).
+        net.submit(MessageSpec::new(
+            NodeId::new(s),
+            NodeId::new((s + stride / 2 + 1) % n),
+            1_000_000_000,
+        ))
+        .expect("valid");
+    }
+    // Warm up until every circuit is established and streaming.
+    net.run(16 * u64::from(n));
+    assert_eq!(net.active_virtual_buses(), active as usize);
+    net
+}
+
+fn bench_per_circuit(c: &mut Criterion) {
+    // The tentpole claim: tick cost divided by the live-circuit count
+    // stays within budget and is flat in N. Throughput is declared in
+    // circuits, so Criterion's per-element figure *is* ns per active
+    // circuit per tick.
+    let mut group = c.benchmark_group("tick_kernel");
+    for n in [64u32, 1024] {
+        for active in [4u32, 16] {
+            group.throughput(Throughput::Elements(u64::from(active)));
+            group.bench_with_input(
+                BenchmarkId::new("per_circuit", format!("N{n}_k8_active{active}")),
+                &(n, active),
+                |b, &(n, active)| {
+                    let mut net = streaming_network(n, active, SchedulerMode::EventDriven);
+                    b.iter(|| net.tick());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    // The feasibility query in isolation: half the ring's hops are
+    // saturated by live circuits, then every (src, dst) pair is asked.
+    // N = 192 makes arcs span multiple bitmap words and wrap the cut.
+    let mut group = c.benchmark_group("tick_kernel");
+    let n = 192u32;
+    for (mode, tag) in [
+        (FeasibilityMode::Bitmap, "bitmap"),
+        (FeasibilityMode::SlabWalk, "slab_walk"),
+    ] {
+        group.throughput(Throughput::Elements(u64::from(n) * u64::from(n - 1)));
+        group.bench_with_input(
+            BenchmarkId::new("feasibility", format!("N{n}_k2_{tag}")),
+            &mode,
+            |b, &mode| {
+                let cfg = RmbConfig::builder(n, 2)
+                    .head_timeout(8 * u64::from(n))
+                    .build()
+                    .expect("valid");
+                let mut net = RmbNetwork::builder(cfg).feasibility(mode).build();
+                // 24 long circuits spread over the ring occupy scattered
+                // segments, so queries see mixed occupancy.
+                for i in 0..24u32 {
+                    let s = i * (n / 24);
+                    net.submit(MessageSpec::new(
+                        NodeId::new(s),
+                        NodeId::new((s + 5) % n),
+                        1_000_000_000,
+                    ))
+                    .expect("valid");
+                }
+                net.run(16 * u64::from(n));
+                b.iter(|| {
+                    let mut feasible = 0u32;
+                    for src in 0..n {
+                        for dst in 0..n {
+                            if src != dst
+                                && net.path_feasible(NodeId::new(src), NodeId::new(dst))
+                            {
+                                feasible += 1;
+                            }
+                        }
+                    }
+                    feasible
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_circuit, bench_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Scratch harness: splits the sink_full_bus benchmark's per-iteration
+//! cost into construction vs protocol run, per bus count, then buckets
+//! the run cost by tick index to localise regressions.
+
+use std::time::Instant;
+
+use rmb_core::RmbNetwork;
+use rmb_types::{MessageSpec, NodeId, RmbConfig};
+
+fn main() {
+    let iters = 20_000u32;
+    for k in [8u16, 32] {
+        // Construction + submit only.
+        let t = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            let mut net = RmbNetwork::new(RmbConfig::new(64, k).expect("valid"));
+            net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(40), 100_000))
+                .expect("valid");
+            sink += net.active_virtual_buses();
+        }
+        let build = t.elapsed().as_nanos() as f64 / f64::from(iters);
+
+        // Full benchmark body.
+        let t = Instant::now();
+        for _ in 0..iters {
+            let mut net = RmbNetwork::new(RmbConfig::new(64, k).expect("valid"));
+            net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(40), 100_000))
+                .expect("valid");
+            net.run(u64::from(8 + 2 * k));
+            sink += net.report().compaction_moves as usize;
+        }
+        let full = t.elapsed().as_nanos() as f64 / f64::from(iters);
+        println!(
+            "k{k}: build {build:.0} ns, full {full:.0} ns, run {:.0} ns  (sink {sink})",
+            full - build
+        );
+    }
+
+    // Bucket run time by tick index (k=32): 9 buckets of 8 ticks.
+    let iters = 20_000u32;
+    let k = 32u16;
+    let ticks = 8 + 2 * u64::from(k);
+    let buckets = (ticks as usize).div_ceil(8);
+    let mut bucket_ns = vec![0u128; buckets];
+    let mut moves_per_bucket = vec![0u64; buckets];
+    for _ in 0..iters {
+        let mut net = RmbNetwork::new(RmbConfig::new(64, k).expect("valid"));
+        net.submit(MessageSpec::new(NodeId::new(0), NodeId::new(40), 100_000))
+            .expect("valid");
+        let mut prev_moves = 0;
+        for b in 0..buckets {
+            let t = Instant::now();
+            for _ in 0..8.min(ticks as usize - b * 8) {
+                net.tick();
+            }
+            bucket_ns[b] += t.elapsed().as_nanos();
+            let m = net.report().compaction_moves;
+            moves_per_bucket[b] += m - prev_moves;
+            prev_moves = m;
+        }
+    }
+    for b in 0..buckets {
+        println!(
+            "ticks {:2}..{:2}: {:6.0} ns  ({:.1} moves)",
+            b * 8,
+            (b * 8 + 8).min(ticks as usize),
+            bucket_ns[b] as f64 / f64::from(iters),
+            moves_per_bucket[b] as f64 / f64::from(iters),
+        );
+    }
+}

@@ -136,26 +136,64 @@ impl HopContext {
     ///
     /// Returns `None` when the hop is at the bottom bus, the segment below
     /// is occupied, or either neighbour is out of reach of the new height.
+    ///
+    /// The decision is table-driven: each endpoint reduces to one of three
+    /// codes (stays straight / already down / forbids the move), and the
+    /// 3×3 code product indexes [`MOVE_TABLE`] — no per-endpoint branching
+    /// in the hot assessment loop.
     pub fn switchable_down(&self) -> Option<MoveCondition> {
-        let target = self.height.lower()?;
+        self.height.lower()?;
         if !self.below_free {
             return None;
         }
-        if !self.upstream.permits_move_down(self.height, self.top)
-            || !self.downstream.permits_move_down(self.height, self.top)
-        {
-            return None;
-        }
-        let up_down = matches!(self.upstream, EndpointHeight::At(h) if h == target);
-        let down_down = matches!(self.downstream, EndpointHeight::At(h) if h == target);
-        Some(match (up_down, down_down) {
-            (false, false) => MoveCondition::StraightStraight,
-            (false, true) => MoveCondition::StraightDown,
-            (true, false) => MoveCondition::DownStraight,
-            (true, true) => MoveCondition::DownDown,
-        })
+        let u = endpoint_code(self.upstream, self.height, self.top);
+        let d = endpoint_code(self.downstream, self.height, self.top);
+        MOVE_TABLE[u * 3 + d]
     }
 }
+
+/// Collapses an endpoint's relation to a hop moving down from `from` into
+/// a table index: `0` = the endpoint permits the move and stays straight
+/// (at `from`, or a PE interface that simply re-attaches), `1` = the
+/// endpoint already sits at `from - 1` (the "down" cases of Fig. 7),
+/// `2` = the endpoint forbids the move.
+#[inline]
+fn endpoint_code(e: EndpointHeight, from: BusIndex, top: BusIndex) -> usize {
+    match e {
+        EndpointHeight::Pe => 0,
+        EndpointHeight::ParkedHead => {
+            if from == top {
+                0
+            } else {
+                2
+            }
+        }
+        EndpointHeight::At(h) => {
+            if h == from {
+                0
+            } else if from.lower() == Some(h) {
+                1
+            } else {
+                2
+            }
+        }
+    }
+}
+
+/// Fig. 7's four legal transitions as a 3×3 lookup over
+/// `(upstream code, downstream code)`; any pairing that involves a
+/// forbidding endpoint (code 2) maps to `None`.
+const MOVE_TABLE: [Option<MoveCondition>; 9] = [
+    Some(MoveCondition::StraightStraight), // (straight, straight)
+    Some(MoveCondition::StraightDown),     // (straight, down)
+    None,                                  // (straight, forbid)
+    Some(MoveCondition::DownStraight),     // (down, straight)
+    Some(MoveCondition::DownDown),         // (down, down)
+    None,                                  // (down, forbid)
+    None,                                  // (forbid, _)
+    None,
+    None,
+];
 
 /// The odd/even assessment rule (Fig. 8, §2.4): INC `node` considers moving
 /// the transaction on bus segment `bus` during `phase` iff node parity,
@@ -449,6 +487,53 @@ mod tests {
     fn condition_numbers_are_stable() {
         let nums: Vec<u8> = MoveCondition::ALL.iter().map(|c| c.number()).collect();
         assert_eq!(nums, vec![1, 2, 3, 4]);
+    }
+
+    /// The lookup table must encode exactly the predicate-based rule it
+    /// replaced: permit iff both endpoints permit, with the condition
+    /// named by which endpoints already sit at `from - 1`.
+    #[test]
+    fn move_table_matches_the_predicate_rule() {
+        let top = BusIndex::new(7);
+        let mut endpoints = vec![EndpointHeight::Pe, EndpointHeight::ParkedHead];
+        for h in 0..8 {
+            endpoints.push(EndpointHeight::At(BusIndex::new(h)));
+        }
+        for from_h in 0..8u16 {
+            let from = BusIndex::new(from_h);
+            for &up in &endpoints {
+                for &down in &endpoints {
+                    let c = HopContext {
+                        height: from,
+                        top,
+                        upstream: up,
+                        downstream: down,
+                        below_free: true,
+                    };
+                    let expected = if from.lower().is_none()
+                        || !up.permits_move_down(from, top)
+                        || !down.permits_move_down(from, top)
+                    {
+                        None
+                    } else {
+                        let target = from.lower().unwrap();
+                        let u = matches!(up, EndpointHeight::At(h) if h == target);
+                        let d = matches!(down, EndpointHeight::At(h) if h == target);
+                        Some(match (u, d) {
+                            (false, false) => MoveCondition::StraightStraight,
+                            (false, true) => MoveCondition::StraightDown,
+                            (true, false) => MoveCondition::DownStraight,
+                            (true, true) => MoveCondition::DownDown,
+                        })
+                    };
+                    assert_eq!(
+                        c.switchable_down(),
+                        expected,
+                        "from {from}, up {up}, down {down}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

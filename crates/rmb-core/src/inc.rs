@@ -47,8 +47,8 @@ pub fn derive_inc(net: &RmbNetwork, node: NodeId) -> IncView {
         pe_drives: Vec::new(),
         pe_reads: Vec::new(),
     };
-    for bus in net.virtual_buses() {
-        let active = bus.active_hops();
+    for (bus, state) in net.virtual_buses_with_state() {
+        let active = bus.active_hops(state);
         if active == 0 {
             continue;
         }

@@ -21,6 +21,9 @@
 //!    availability pool), and so is one still owned by a circuit that is
 //!    tearing down — the Nack/Fack frees it tail-first over the following
 //!    ticks — but a data flit crossing a faulted segment is not.
+//! 6. **Bitmap lockstep** — the packed occupancy bitmaps the hot path
+//!    queries (per-bus occupied / faulted bits, the full-hop mask) agree
+//!    bit-for-bit with the authoritative segment owner and fault tables.
 //!
 //! A fifth property — *downward-only motion* (§2.2: "The motion of
 //! virtual-buses for the purpose of compaction is only downwards") — needs
@@ -73,8 +76,8 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
 
     // 1. Consistency, both directions.
     let mut expected: HashMap<(usize, usize), u64> = HashMap::new();
-    for bus in buses.values() {
-        let active = bus.active_hops();
+    for (bus, state) in buses.values_with_state() {
+        let active = bus.active_hops(state);
         for j in 0..active {
             let hop = bus.hop_upstream_node(ring, j).as_usize();
             let l = bus.heights[j].as_usize();
@@ -112,8 +115,8 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
     }
 
     // 2. Continuity: adjacent active heights within the INC switch range.
-    for bus in buses.values() {
-        let active = bus.active_hops();
+    for (bus, state) in buses.values_with_state() {
+        let active = bus.active_hops(state);
         for j in 1..active {
             let a = bus.heights[j - 1];
             let b = bus.heights[j];
@@ -135,8 +138,8 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
     // top bus, on which the HF will be re-driven.
     if net.config().insertion == InsertionPolicy::TopBusOnly {
         let top = net.config().top_bus();
-        for bus in buses.values() {
-            if matches!(bus.state, BusState::Establishing)
+        for (bus, state) in buses.values_with_state() {
+            if matches!(state, BusState::Establishing)
                 && bus.head_node(ring) != bus.spec.destination
             {
                 let last = *bus.heights.last().expect("live bus has hops");
@@ -170,8 +173,8 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
     // 5. Fault isolation: live circuits never occupy faulted segments.
     // (Unowned faulted segments are legal, as are dying circuits whose
     // teardown has not yet swept past the fault.)
-    for bus in buses.values() {
-        if !bus.state.compactable() {
+    for (bus, state) in buses.values_with_state() {
+        if !state.compactable() {
             continue;
         }
         for j in 0..bus.heights.len() {
@@ -182,11 +185,18 @@ pub fn check_network(net: &RmbNetwork) -> Result<(), InvariantViolation> {
                     "fault-isolation",
                     format!(
                         "live bus {} ({}) occupies faulted segment (hop {hop}, {height})",
-                        bus.id, bus.state
+                        bus.id, state
                     ),
                 );
             }
         }
+    }
+
+    // 6. Bitmap lockstep: the packed occupancy mirror the hot path
+    // queries must agree bit-for-bit with the owner / fault tables it
+    // shadows.
+    if let Err(detail) = net.verify_occupancy() {
+        return fail("bitmap-lockstep", detail);
     }
 
     Ok(())

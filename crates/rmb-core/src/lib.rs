@@ -52,6 +52,7 @@ mod inc;
 pub mod invariants;
 pub mod microsim;
 mod network;
+mod occupancy;
 mod options;
 mod render;
 mod status;
@@ -65,7 +66,7 @@ pub use cycle::{CycleController, CycleFlags, CycleRing, CycleStep, SwitchState};
 pub use inc::{derive_inc, IncView};
 pub use invariants::InvariantViolation;
 pub use network::{CompactionMode, RmbNetwork, RunReport};
-pub use options::{RmbNetworkBuilder, SchedulerMode, SimOptions};
+pub use options::{FeasibilityMode, RmbNetworkBuilder, SchedulerMode, SimOptions};
 pub use render::{bus_letter, render_inc_status, render_occupancy, render_virtual_buses};
 pub use status::{PortStatus, SourceDir};
 pub use virtual_bus::{BusState, StreamState, VirtualBus};

@@ -24,10 +24,19 @@
 //! ascending id order. Ids are allocated monotonically and buses die only
 //! in the sweep phase, which compacts the id list in place, so iteration
 //! order is identical to the `BTreeMap` this replaced while lookups,
-//! insertions and removals are O(1) with no per-tick allocation. Segment
-//! occupancy is one flat array (`hop * k + bus`) with a per-hop free
-//! count, making [`segment_owner`](RmbNetwork::segment_owner) an array
-//! read and [`path_feasible`](RmbNetwork::path_feasible) O(1) per hop.
+//! insertions and removals are O(1) with no per-tick allocation. Lifecycle
+//! state is a struct-of-arrays lane on the slab ([`BusState`] is `Copy`):
+//! the stream/teardown kernel reads a circuit's state out of the lane,
+//! advances it in registers and writes it back, touching the cold
+//! [`VirtualBus`] struct only on transitions. Segment occupancy is one
+//! flat array (`hop * k + bus`) with a per-hop free count, mirrored into
+//! packed per-bus bitmaps (`occupancy::Occupancy`) kept in lockstep at
+//! every occupy/release/fault/repair, so
+//! [`segment_owner`](RmbNetwork::segment_owner) is an array read and
+//! [`path_feasible`](RmbNetwork::path_feasible) one wrap-aware masked
+//! range test (`FeasibilityMode::Bitmap`, the default) or O(1) per hop
+//! over the free counts (`FeasibilityMode::SlabWalk`, the retained
+//! oracle).
 //!
 //! # Scheduling
 //!
@@ -44,7 +53,8 @@
 use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
 use crate::cycle::CycleRing;
 use crate::invariants::{check_network, InvariantViolation};
-use crate::options::{RmbNetworkBuilder, SchedulerMode, SimOptions};
+use crate::occupancy::Occupancy;
+use crate::options::{FeasibilityMode, RmbNetworkBuilder, SchedulerMode, SimOptions};
 use crate::virtual_bus::{BusState, StreamState, VirtualBus};
 use rmb_sim::stats::OnlineStats;
 use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
@@ -152,13 +162,22 @@ struct SchedState {
 pub(crate) struct BusSlab {
     /// Slot storage; dead slots are `None` and recycled via `free`.
     slots: Vec<Option<VirtualBus>>,
+    /// Struct-of-arrays lifecycle lane, indexed by slot like `slots`: the
+    /// single authority on each live bus's [`BusState`]. Kept separate so
+    /// the per-tick kernel streams over small `Copy` states without
+    /// touching the cold bus structs.
+    states: Vec<BusState>,
     /// Recycled slot indices.
     free: Vec<u32>,
     /// Slot of each id ever allocated (`DEAD` when not live). Bounded by
     /// the total id count, at four bytes per id.
     slot_of: Vec<u32>,
     /// Live ids in ascending order.
-    active: Vec<VirtualBusId>,
+    /// Live `(id, slot)` pairs in ascending id order. Carrying the slot
+    /// alongside the id spares the tick kernel one dependent load
+    /// (`slot_of`) per live bus per tick; a bus's slot is fixed from
+    /// `insert` to `discard`, so the pair never goes stale.
+    active: Vec<(VirtualBusId, u32)>,
 }
 
 const DEAD: u32 = u32::MAX;
@@ -174,13 +193,20 @@ impl BusSlab {
 
     /// Live ids in ascending order.
     #[cfg(test)]
-    fn active_ids(&self) -> &[VirtualBusId] {
-        &self.active
+    fn active_ids(&self) -> Vec<VirtualBusId> {
+        self.active.iter().map(|&(id, _)| id).collect()
     }
 
     /// The live id at position `i` of the active list.
     fn active_id(&self, i: usize) -> VirtualBusId {
-        self.active[i]
+        self.active[i].0
+    }
+
+    /// The live `(id, slot)` pair at position `i` of the active list.
+    #[inline]
+    fn active_entry(&self, i: usize) -> (VirtualBusId, usize) {
+        let (id, slot) = self.active[i];
+        (id, slot as usize)
     }
 
     fn slot(&self, id: VirtualBusId) -> Option<usize> {
@@ -198,21 +224,23 @@ impl BusSlab {
         self.slot(id).and_then(|s| self.slots[s].as_mut())
     }
 
-    /// Inserts a freshly allocated bus. Ids are monotonic, so appending
-    /// keeps `active` sorted.
-    fn insert(&mut self, bus: VirtualBus) {
+    /// Inserts a freshly allocated bus with its initial lifecycle state.
+    /// Ids are monotonic, so appending keeps `active` sorted.
+    fn insert(&mut self, bus: VirtualBus, state: BusState) {
         let id = bus.id;
         debug_assert!(
-            self.active.last().is_none_or(|&last| last < id),
+            self.active.last().is_none_or(|&(last, _)| last < id),
             "bus ids must ascend"
         );
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some(bus);
+                self.states[s as usize] = state;
                 s
             }
             None => {
                 self.slots.push(Some(bus));
+                self.states.push(state);
                 (self.slots.len() - 1) as u32
             }
         };
@@ -221,7 +249,37 @@ impl BusSlab {
             self.slot_of.resize(idx + 1, DEAD);
         }
         self.slot_of[idx] = slot;
-        self.active.push(id);
+        self.active.push((id, slot));
+    }
+
+    /// The lifecycle state of a live bus.
+    fn state(&self, id: VirtualBusId) -> Option<BusState> {
+        self.slot(id).map(|s| self.states[s])
+    }
+
+    /// The lifecycle state in slot `slot` (the caller owns slot liveness).
+    #[inline]
+    fn state_at(&self, slot: usize) -> BusState {
+        self.states[slot]
+    }
+
+    /// Mutable access to the state in slot `slot`, for in-place counter
+    /// updates on the tick kernel's fast path.
+    #[inline]
+    fn state_at_mut(&mut self, slot: usize) -> &mut BusState {
+        &mut self.states[slot]
+    }
+
+    /// Writes the lifecycle state of slot `slot`.
+    #[inline]
+    fn set_state_at(&mut self, slot: usize, state: BusState) {
+        self.states[slot] = state;
+    }
+
+    /// Writes the lifecycle state of a live bus.
+    fn set_state(&mut self, id: VirtualBusId, state: BusState) {
+        let slot = self.slot(id).expect("setting state of a live bus");
+        self.states[slot] = state;
     }
 
     /// Takes a live bus out of its slot for mutation; pair with
@@ -247,8 +305,8 @@ impl BusSlab {
     }
 
     /// Overwrites position `i` of the active list (sweep compaction).
-    fn set_active(&mut self, i: usize, id: VirtualBusId) {
-        self.active[i] = id;
+    fn set_active(&mut self, i: usize, id: VirtualBusId, slot: usize) {
+        self.active[i] = (id, slot as u32);
     }
 
     /// Shortens the active list to `len` entries (sweep compaction).
@@ -258,15 +316,35 @@ impl BusSlab {
 
     /// Live buses in ascending id order.
     pub(crate) fn values(&self) -> impl Iterator<Item = &VirtualBus> {
-        self.active.iter().map(move |id| {
-            self.get(*id).expect("active ids are live")
+        self.active.iter().map(move |&(_, slot)| {
+            self.slots[slot as usize]
+                .as_ref()
+                .expect("active slots are live")
         })
     }
 
     /// `(id, bus)` pairs in ascending id order.
     fn iter(&self) -> impl Iterator<Item = (VirtualBusId, &VirtualBus)> {
-        self.active.iter().map(move |&id| {
-            (id, self.get(id).expect("active ids are live"))
+        self.active.iter().map(move |&(id, slot)| {
+            (
+                id,
+                self.slots[slot as usize]
+                    .as_ref()
+                    .expect("active slots are live"),
+            )
+        })
+    }
+
+    /// `(bus, state)` pairs in ascending id order — for consumers that
+    /// need both the cold struct and the state lane (invariants, INC
+    /// projection, renderers).
+    pub(crate) fn values_with_state(&self) -> impl Iterator<Item = (&VirtualBus, BusState)> {
+        self.active.iter().map(move |&(_, slot)| {
+            let slot = slot as usize;
+            (
+                self.slots[slot].as_ref().expect("active slots are live"),
+                self.states[slot],
+            )
         })
     }
 }
@@ -386,6 +464,10 @@ pub struct RmbNetwork {
     segments: Vec<Option<VirtualBusId>>,
     /// Number of free segments per hop (for the O(1) feasibility oracle).
     free_per_hop: Vec<u16>,
+    /// Packed occupancy/fault bitmaps, kept in lockstep with `segments`,
+    /// `fault_count` and `free_per_hop` (invariant #6). Answers the hot
+    /// availability and path-feasibility queries in `Bitmap` mode.
+    occ: Occupancy,
     buses: BusSlab,
     nodes: Vec<NodeState>,
     /// Runtime options (compaction engine, fault schedule, tracing,
@@ -400,6 +482,9 @@ pub struct RmbNetwork {
     pending_total: usize,
     /// Cached `opts.scheduler == EventDriven` (immutable after build).
     event_driven: bool,
+    /// Cached `opts.feasibility == Bitmap` (immutable after build); the
+    /// dispatch branch is run-constant and predicted perfectly.
+    feas_bitmap: bool,
     /// `true` while the event engine also tracks the compaction dirty set
     /// (event-driven + synchronous compaction + compaction enabled).
     track_dirty: bool,
@@ -434,6 +519,11 @@ pub struct RmbNetwork {
     recovery_sum: u64,
     max_recovery: u64,
     utilization: OnlineStats,
+    /// Memoized `(busy_segments, busy / total)` of the last utilisation
+    /// sample: the quotient only needs recomputing when occupancy moved,
+    /// which keeps an fdiv off the steady-state tick path. Same inputs
+    /// give the same bits, so recorded stats are unaffected.
+    util_sample: (usize, f64),
     peak_virtual_buses: usize,
     submitted: u64,
     last_progress: u64,
@@ -490,11 +580,13 @@ impl RmbNetwork {
         let fault_seed = opts.fault_seed;
         let recording = opts.recording;
         let event_driven = opts.scheduler == SchedulerMode::EventDriven;
+        let feas_bitmap = opts.feasibility == FeasibilityMode::Bitmap;
         let mut net = RmbNetwork {
             cfg,
             now: Tick::ZERO,
             segments: vec![None; n * k],
             free_per_hop: vec![k as u16; n],
+            occ: Occupancy::new(n, k),
             buses: BusSlab::default(),
             nodes: vec![NodeState::default(); n],
             opts,
@@ -504,6 +596,7 @@ impl RmbNetwork {
             busy_segments: 0,
             pending_total: 0,
             event_driven,
+            feas_bitmap,
             track_dirty: false,
             sched: SchedState {
                 ready_mask: vec![false; n],
@@ -526,6 +619,7 @@ impl RmbNetwork {
             recovery_sum: 0,
             max_recovery: 0,
             utilization: OnlineStats::default(),
+            util_sample: (0, 0.0),
             peak_virtual_buses: 0,
             submitted: 0,
             last_progress: 0,
@@ -608,6 +702,37 @@ impl RmbNetwork {
         self.buses.get(id)
     }
 
+    /// Protocol state of a live virtual bus. Hot circuit state lives in a
+    /// struct-of-arrays lane beside the bus records, so it is read here
+    /// rather than off [`VirtualBus`] itself.
+    pub fn bus_state(&self, id: VirtualBusId) -> Option<BusState> {
+        self.buses.state(id)
+    }
+
+    /// Iterates over the live virtual buses in id order, paired with
+    /// their protocol state.
+    pub(crate) fn virtual_buses_with_state(
+        &self,
+    ) -> impl Iterator<Item = (&VirtualBus, BusState)> {
+        self.buses.values_with_state()
+    }
+
+    /// Rebuilds the occupancy bitmaps from the authoritative owner /
+    /// fault tables and reports the first out-of-lockstep bit
+    /// (invariant #6).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub(crate) fn verify_occupancy(&self) -> Result<(), String> {
+        self.occ.verify(
+            &self.segments,
+            &self.fault_count,
+            &self.free_per_hop,
+            self.cfg.buses() as usize,
+        )
+    }
+
     /// Requests not yet injected (buffered HFs plus backoff waiters).
     pub fn pending_requests(&self) -> usize {
         debug_assert_eq!(
@@ -668,12 +793,19 @@ impl RmbNetwork {
     }
 
     /// `true` when every hop of the clockwise path `src → dst` has at
-    /// least one free segment — Theorem 1's availability oracle. O(1) per
-    /// hop via the per-hop free-segment counts.
+    /// least one free segment — Theorem 1's availability oracle. In
+    /// `Bitmap` mode (default) this is one wrap-aware masked-range test on
+    /// the full-hops bitmap; in `SlabWalk` mode it walks the per-hop
+    /// free-segment counts, O(1) per hop. Both kernels always agree (see
+    /// the feasibility oracle suite and invariant #6).
     pub fn path_feasible(&self, src: NodeId, dst: NodeId) -> bool {
         let ring = self.ring();
         let span = ring.clockwise_distance(src, dst);
-        (0..span).all(|j| self.free_per_hop[ring.advance(src, j).as_usize()] > 0)
+        if self.feas_bitmap {
+            self.occ.span_feasible(src.as_usize(), span as usize)
+        } else {
+            (0..span).all(|j| self.free_per_hop[ring.advance(src, j).as_usize()] > 0)
+        }
     }
 
     /// `true` when nothing is in flight and nothing is waiting.
@@ -861,8 +993,14 @@ impl RmbNetwork {
     pub fn tick(&mut self) {
         self.apply_due_faults();
         self.progress_streams_and_teardowns();
-        self.decide_at_destinations();
-        self.extend_heads();
+        // The establishment phases only ever visit `Establishing` buses;
+        // when the event engine's establishing list is empty they are
+        // no-ops, so the calls (and their list-swap bookkeeping) can be
+        // skipped outright. The dense sweep re-checks per bus instead.
+        if !self.event_driven || !self.sched.establishing.is_empty() {
+            self.decide_at_destinations();
+            self.extend_heads();
+        }
         self.inject_pending();
         self.run_compaction();
         self.finish_tick();
@@ -1126,9 +1264,15 @@ impl RmbNetwork {
         let idx = hop * self.cfg.buses() as usize + bus.as_usize();
         self.fault_count[idx] += 1;
         if self.fault_count[idx] == 1 {
+            self.occ.assign_faulted(hop, bus.as_usize(), true);
             match self.segments[idx] {
                 // An idle segment just leaves the availability pool.
-                None => self.free_per_hop[hop] -= 1,
+                None => {
+                    self.free_per_hop[hop] -= 1;
+                    if self.free_per_hop[hop] == 0 {
+                        self.occ.assign_full(hop, true);
+                    }
+                }
                 // An occupied one takes its circuit down with it; the
                 // teardown keeps owning the segment until the Nack passes.
                 Some(owner) => self.fault_kill(owner, "segment faulted under the circuit"),
@@ -1140,11 +1284,15 @@ impl RmbNetwork {
         let idx = hop * self.cfg.buses() as usize + bus.as_usize();
         debug_assert!(self.fault_count[idx] > 0, "repairing a healthy segment");
         self.fault_count[idx] -= 1;
-        if self.fault_count[idx] == 0 && self.segments[idx].is_none() {
-            self.free_per_hop[hop] += 1;
-            // The segment is available again: the circuit directly above
-            // (if any) may now have a downward move.
-            self.wake_above(hop, bus);
+        if self.fault_count[idx] == 0 {
+            self.occ.assign_faulted(hop, bus.as_usize(), false);
+            if self.segments[idx].is_none() {
+                self.free_per_hop[hop] += 1;
+                self.occ.assign_full(hop, false);
+                // The segment is available again: the circuit directly
+                // above (if any) may now have a downward move.
+                self.wake_above(hop, bus);
+            }
         }
     }
 
@@ -1170,14 +1318,15 @@ impl RmbNetwork {
     /// mark it for the bounded-exponential retry path. No-op for circuits
     /// already tearing down.
     fn fault_kill(&mut self, id: VirtualBusId, why: &str) {
-        let (receiving, dst, source) = {
-            let Some(bus) = self.buses.get(id) else { return };
-            let receiving = match bus.state {
-                BusState::TearingDown { .. } | BusState::Nacked { .. } => return,
-                BusState::AwaitingHack { .. } | BusState::Streaming(_) => true,
-                BusState::Establishing => false,
-            };
-            (receiving, bus.spec.destination, bus.spec.source)
+        let Some(state) = self.buses.state(id) else { return };
+        let receiving = match state {
+            BusState::TearingDown { .. } | BusState::Nacked { .. } => return,
+            BusState::AwaitingHack { .. } | BusState::Streaming(_) => true,
+            BusState::Establishing => false,
+        };
+        let (dst, source) = {
+            let bus = self.buses.get(id).expect("bus is live");
+            (bus.spec.destination, bus.spec.source)
         };
         if receiving {
             // Past acceptance the destination holds a receive port that
@@ -1186,8 +1335,8 @@ impl RmbNetwork {
             self.nodes[dst.as_usize()].receives_active -= 1;
         }
         let now = self.now.get();
+        self.buses.set_state(id, BusState::Nacked { freed: 0 });
         let bus = self.buses.get_mut(id).expect("bus is live");
-        bus.state = BusState::Nacked { freed: 0 };
         bus.fault_killed = true;
         let request = bus.request.get();
         self.fault_kills += 1;
@@ -1387,59 +1536,124 @@ impl RmbNetwork {
             AckMode::Unlimited => u32::MAX,
         };
         // This is the only phase that removes buses: detach the slab so
-        // buses can be mutated in place while the rest of the network is
+        // its state lane can be advanced while the rest of the network is
         // borrowed freely, compacting the active list behind the cursor.
+        //
+        // The steady-state streaming arm is the tick kernel's inner loop:
+        // it reads the `Copy` state out of the slab's state lane, advances
+        // three counters against closed-form send ticks (no queues, no
+        // allocation), and writes the state back — the cold `VirtualBus`
+        // struct is dereferenced only on transitions (stream start,
+        // completion, teardown, removal).
+        if self.buses.is_empty() {
+            return;
+        }
         let mut buses = std::mem::take(&mut self.buses);
         let mut kept = 0usize;
         for i in 0..buses.len() {
-            let id = buses.active_id(i);
-            let slot = buses.slot(id).expect("active ids are live");
+            let (id, slot) = buses.active_entry(i);
             if event && self.sched.next_due[slot] > now {
                 // Nothing due: parked `Establishing` buses are stream
                 // no-ops, and a draining stream's next delivery or final
                 // flit is still in flight. The dense sweep would walk the
                 // same no-op arms and observe nothing.
-                buses.set_active(kept, id);
+                buses.set_active(kept, id, slot);
                 kept += 1;
                 continue;
             }
-            let bus = buses.get_mut(id).expect("active ids are live");
-            let span = bus.heights.len() as u64;
+            // Steady-state fast path: a mid-flight stream under a window
+            // at least the round trip (W >= 2L, the default) can only
+            // advance its three counters — no transition is reachable —
+            // so it is updated in place, skipping the copy-out/copy-back
+            // protocol and the transition checks below. The closed forms
+            // land exactly where the catch-up loops in the general arm
+            // stop (see `StreamState::send_tick`).
+            let fast = {
+                if let BusState::Streaming(s) = buses.state_at_mut(slot) {
+                    let span = u64::from(s.span);
+                    if s.ff_sent_at.is_none()
+                        && s.next_seq < s.data_flits
+                        && 2 * span <= u64::from(s.window)
+                        && s.unacked() < s.window
+                    {
+                        let nd = u64::from(s.delivered)
+                            .max(now.saturating_sub(s.circuit_at + span));
+                        s.delivered = u64::from(s.next_seq).min(nd) as u32;
+                        let na = u64::from(s.acked)
+                            .max(now.saturating_sub(s.circuit_at + 2 * span));
+                        s.acked = u64::from(s.next_seq).min(na) as u32;
+                        debug_assert_eq!(now, s.send_tick(s.next_seq), "send recurrence");
+                        s.next_seq += 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            };
+            if fast {
+                // The send is progress; the stream stays due next tick.
+                self.last_progress = now;
+                if event {
+                    self.sched.next_due[slot] = now + 1;
+                }
+                buses.set_active(kept, id, slot);
+                kept += 1;
+                continue;
+            }
+            let mut state = buses.state_at(slot);
             let mut remove = false;
             let mut progressed = false;
             let mut start_streaming = false;
-            let mut completed_circuit_at = None;
-            match &mut bus.state {
+            let mut completed = None;
+            match state {
                 BusState::Establishing
                 | BusState::TearingDown { .. }
                 | BusState::Nacked { .. } => {}
                 BusState::AwaitingHack { hops_left } => {
-                    *hops_left -= 1;
-                    start_streaming = *hops_left == 0;
+                    let hops_left = hops_left - 1;
+                    start_streaming = hops_left == 0;
+                    state = BusState::AwaitingHack { hops_left };
                 }
-                BusState::Streaming(s) => {
-                    // Deliveries (L ticks after send) and Dacks (2L ticks).
-                    while s
-                        .awaiting_delivery
-                        .front()
-                        .is_some_and(|&t| now >= t + span)
-                    {
-                        s.awaiting_delivery.pop_front();
-                        s.delivered += 1;
-                        progressed = true;
-                    }
-                    while s.awaiting_ack.front().is_some_and(|&t| now >= t + 2 * span) {
-                        s.awaiting_ack.pop_front();
+                BusState::Streaming(mut s) => {
+                    // Deliveries (L ticks after send) and Dacks (2L ticks):
+                    // the flit about to land / be acked is `delivered` /
+                    // `acked`, and its send tick is closed-form.
+                    let span = u64::from(s.span);
+                    if 2 * span <= u64::from(s.window) {
+                        // Cruise: the window never gates the source
+                        // (W >= 2L), so `send_tick(i) = circuit_at + 1 + i`
+                        // and both counters catch up in closed form — the
+                        // min/max pair lands exactly where the loops below
+                        // stop, compiled to cmovs instead of branches.
+                        let nd = u64::from(s.delivered)
+                            .max(now.saturating_sub(s.circuit_at + span));
+                        let nd = u64::from(s.next_seq).min(nd) as u32;
+                        let na = u64::from(s.acked)
+                            .max(now.saturating_sub(s.circuit_at + 2 * span));
+                        s.acked = u64::from(s.next_seq).min(na) as u32;
+                        progressed |= nd != s.delivered;
+                        s.delivered = nd;
+                    } else {
+                        while s.delivered < s.next_seq
+                            && now >= s.send_tick(s.delivered) + span
+                        {
+                            s.delivered += 1;
+                            progressed = true;
+                        }
+                        while s.acked < s.next_seq && now >= s.send_tick(s.acked) + 2 * span {
+                            s.acked += 1;
+                        }
                     }
                     if let Some(ff_at) = s.ff_sent_at {
                         if now >= ff_at + span {
                             // Final flit arrived: the message is delivered.
-                            completed_circuit_at = Some(s.circuit_at);
+                            completed = Some(s);
                         }
-                    } else if s.next_seq < bus.spec.data_flits {
-                        if (s.awaiting_ack.len() as u32) < window {
-                            s.awaiting_ack.push_back(now);
-                            s.awaiting_delivery.push_back(now);
+                    } else if s.next_seq < s.data_flits {
+                        if s.unacked() < s.window {
+                            debug_assert_eq!(now, s.send_tick(s.next_seq), "send recurrence");
                             s.next_seq += 1;
                             progressed = true;
                         }
@@ -1447,21 +1661,27 @@ impl RmbNetwork {
                         s.ff_sent_at = Some(now);
                         progressed = true;
                     }
+                    state = BusState::Streaming(s);
                 }
             }
             if start_streaming {
-                bus.state = BusState::Streaming(StreamState {
-                    circuit_at: now,
-                    ..StreamState::default()
-                });
+                let bus = buses.get(id).expect("active ids are live");
+                state = BusState::Streaming(StreamState::new(
+                    now,
+                    bus.heights.len() as u32,
+                    bus.spec.data_flits,
+                    window,
+                ));
                 progressed = true;
             }
-            if let Some(circuit_at) = completed_circuit_at {
+            if let Some(s) = completed {
+                let span = u64::from(s.span);
+                let bus = buses.get(id).expect("active ids are live");
                 self.record_delivery(DeliveredMessage {
                     request: bus.request,
                     spec: bus.spec,
                     requested_at: bus.requested_at,
-                    circuit_at,
+                    circuit_at: s.circuit_at,
                     delivered_at: now,
                     refusals: bus.refusals,
                 });
@@ -1475,7 +1695,7 @@ impl RmbNetwork {
                         spec: MessageSpec::new(bus.spec.source, *tap, bus.spec.data_flits)
                             .at(bus.spec.inject_at),
                         requested_at: bus.requested_at,
-                        circuit_at,
+                        circuit_at: s.circuit_at,
                         delivered_at: now - (span - dist),
                         refusals: bus.refusals,
                     });
@@ -1487,38 +1707,36 @@ impl RmbNetwork {
                     self.recovery_sum += dt;
                     self.max_recovery = self.max_recovery.max(dt);
                 }
-                bus.state = BusState::TearingDown { freed: 0 };
-                self.trace(
-                    TraceKind::Deliver,
-                    bus.id,
-                    bus.spec.destination,
-                    None,
-                    "final flit arrived",
-                );
+                state = BusState::TearingDown { freed: 0 };
+                let (dst, bus_id) = (bus.spec.destination, bus.id);
+                self.trace(TraceKind::Deliver, bus_id, dst, None, "final flit arrived");
                 progressed = true;
             }
-            let teardown_freed = match bus.state {
+            let teardown_freed = match state {
                 BusState::TearingDown { freed } | BusState::Nacked { freed } => Some(freed),
                 _ => None,
             };
             if let Some(freed) = teardown_freed {
-                if completed_circuit_at.is_none() {
+                if completed.is_none() {
                     // The Fack / Nack crosses one INC per tick, freeing the
                     // tail hop as it passes. (A bus that completed this very
                     // tick starts freeing next tick.)
+                    let bus = buses.get(id).expect("active ids are live");
                     let idx = bus.heights.len() - 1 - freed;
                     let hop = bus.hop_upstream_node(ring, idx).as_usize();
                     let height = bus.heights[idx];
+                    let hops = bus.heights.len();
                     self.release(hop, height);
                     let new_freed = freed + 1;
-                    match &mut bus.state {
-                        BusState::TearingDown { freed } | BusState::Nacked { freed } => {
-                            *freed = new_freed;
+                    state = match state {
+                        BusState::TearingDown { .. } => {
+                            BusState::TearingDown { freed: new_freed }
                         }
+                        BusState::Nacked { .. } => BusState::Nacked { freed: new_freed },
                         _ => unreachable!("teardown state checked above"),
-                    }
+                    };
                     progressed = true;
-                    remove = new_freed == bus.heights.len();
+                    remove = new_freed == hops;
                 }
             }
             if progressed {
@@ -1532,7 +1750,7 @@ impl RmbNetwork {
                 // ticks coincide with the dense sweep's delivery pops, so
                 // `last_progress` (and with it stall detection and report
                 // tick counts) stays byte-identical.
-                self.sched.next_due[slot] = match &bus.state {
+                self.sched.next_due[slot] = match state {
                     BusState::Establishing => u64::MAX,
                     BusState::AwaitingHack { .. }
                     | BusState::TearingDown { .. }
@@ -1540,10 +1758,12 @@ impl RmbNetwork {
                     BusState::Streaming(s) => match s.ff_sent_at {
                         None => now + 1,
                         Some(ff) => {
-                            let next_delivery = s
-                                .awaiting_delivery
-                                .front()
-                                .map_or(u64::MAX, |&t| t + span);
+                            let span = u64::from(s.span);
+                            let next_delivery = if s.delivered < s.next_seq {
+                                s.send_tick(s.delivered) + span
+                            } else {
+                                u64::MAX
+                            };
                             (ff + span).min(next_delivery)
                         }
                     },
@@ -1557,7 +1777,7 @@ impl RmbNetwork {
             if remove {
                 let bus = buses.take(id).expect("active ids are live");
                 buses.discard(id);
-                let nacked = matches!(bus.state, BusState::Nacked { .. });
+                let nacked = matches!(state, BusState::Nacked { .. });
                 self.nodes[bus.spec.source.as_usize()].sends_active -= 1;
                 if nacked {
                     // Release any multicast taps that were already armed.
@@ -1618,7 +1838,8 @@ impl RmbNetwork {
                     );
                 }
             } else {
-                buses.set_active(kept, id);
+                buses.set_state_at(slot, state);
+                buses.set_active(kept, id, slot);
                 kept += 1;
             }
         }
@@ -1635,16 +1856,13 @@ impl RmbNetwork {
     /// *during* the call (they fall out on the next pass). Dense mode
     /// walks the whole active list; the per-bus methods re-check the
     /// state themselves.
-    fn for_each_establishing(&mut self, phase: fn(&mut Self, VirtualBusId)) {
+    fn for_each_establishing(&mut self, mut phase: impl FnMut(&mut Self, VirtualBusId)) {
         if self.event_driven {
             let mut list = std::mem::take(&mut self.sched.establishing);
             let mut kept = 0usize;
             for i in 0..list.len() {
                 let id = list[i];
-                let still = self
-                    .buses
-                    .get(id)
-                    .is_some_and(|b| matches!(b.state, BusState::Establishing));
+                let still = matches!(self.buses.state(id), Some(BusState::Establishing));
                 if !still {
                     continue;
                 }
@@ -1674,10 +1892,10 @@ impl RmbNetwork {
         {
             let (dst, span, head);
             {
-                let bus = self.buses.get(id).expect("bus is live");
-                if !matches!(bus.state, BusState::Establishing) {
+                if !matches!(self.buses.state(id), Some(BusState::Establishing)) {
                     return;
                 }
+                let bus = self.buses.get(id).expect("bus is live");
                 dst = bus.spec.destination;
                 span = bus.heights.len() as u32;
                 head = bus.head_node(ring);
@@ -1703,8 +1921,7 @@ impl RmbNetwork {
                     bus.parked_since = now;
                     self.trace(TraceKind::Accept, id, head, None, "multicast tap armed");
                 } else {
-                    let bus = self.buses.get_mut(id).expect("bus is live");
-                    bus.state = BusState::Nacked { freed: 0 };
+                    self.buses.set_state(id, BusState::Nacked { freed: 0 });
                     self.refusals += 1;
                     self.wake_bus(id);
                     self.trace(TraceKind::Refuse, id, head, None, "multicast tap busy");
@@ -1717,8 +1934,7 @@ impl RmbNetwork {
                     let parked_since = self.buses.get(id).expect("bus is live").parked_since;
                     let parked = now.saturating_sub(parked_since);
                     if parked > limit {
-                        let bus = self.buses.get_mut(id).expect("bus is live");
-                        bus.state = BusState::Nacked { freed: 0 };
+                        self.buses.set_state(id, BusState::Nacked { freed: 0 });
                         self.refusals += 1;
                         self.wake_bus(id);
                         self.trace(
@@ -1739,9 +1955,9 @@ impl RmbNetwork {
             }
             let accept = self.nodes[dst.as_usize()].receives_active
                 < self.cfg.node.max_concurrent_receives;
-            let bus = self.buses.get_mut(id).expect("bus is live");
             if accept {
-                bus.state = BusState::AwaitingHack { hops_left: span };
+                self.buses
+                    .set_state(id, BusState::AwaitingHack { hops_left: span });
                 self.nodes[dst.as_usize()].receives_active += 1;
                 self.wake_bus(id);
                 // With early compaction the circuit is assessable from
@@ -1749,7 +1965,7 @@ impl RmbNetwork {
                 self.mark_dirty(id);
                 self.trace(TraceKind::Accept, id, dst, None, "destination accepted");
             } else {
-                bus.state = BusState::Nacked { freed: 0 };
+                self.buses.set_state(id, BusState::Nacked { freed: 0 });
                 self.refusals += 1;
                 self.wake_bus(id);
                 self.trace(TraceKind::Refuse, id, dst, None, "destination busy");
@@ -1769,10 +1985,10 @@ impl RmbNetwork {
         {
             let (head, last_height, injected_at);
             {
-                let bus = self.buses.get(id).expect("bus is live");
-                if !matches!(bus.state, BusState::Establishing) {
+                if !matches!(self.buses.state(id), Some(BusState::Establishing)) {
                     return;
                 }
+                let bus = self.buses.get(id).expect("bus is live");
                 head = bus.head_node(ring);
                 if head == bus.spec.destination {
                     return;
@@ -1833,10 +2049,16 @@ impl RmbNetwork {
         }
     }
 
-    /// `true` when the segment is neither occupied nor faulted.
+    /// `true` when the segment is neither occupied nor faulted. Answered
+    /// from the packed bitmaps in `Bitmap` mode (two bit probes), from
+    /// the owner and fault tables in `SlabWalk` mode.
     #[inline]
     fn available(&self, hop: usize, bus: usize) -> bool {
-        self.seg(hop, bus).is_none() && !self.faulted(hop, bus)
+        if self.feas_bitmap {
+            !self.occ.blocked(hop, bus)
+        } else {
+            self.seg(hop, bus).is_none() && !self.faulted(hop, bus)
+        }
     }
 
     /// For the `AnyFreeBus` ablation: the first available segment on
@@ -1887,6 +2109,11 @@ impl RmbNetwork {
             // peek hint exact, which `has_due_work` relies on.
             while let Some((_, s)) = self.sched.wheel.pop_due(Tick::new(now)) {
                 self.arm_node(s as usize);
+            }
+            if self.sched.ready.is_empty() {
+                // No node has a due queue front; the rotated scan below
+                // would visit nothing.
+                return;
             }
             let mut ready = std::mem::take(&mut self.sched.scratch_ready);
             ready.clear();
@@ -1991,7 +2218,6 @@ impl RmbNetwork {
                 taps: pending.taps,
                 armed_taps: 0,
                 fault_killed: false,
-                state: BusState::Establishing,
             };
             self.trace(
                 TraceKind::Inject,
@@ -2000,7 +2226,7 @@ impl RmbNetwork {
                 Some(height),
                 "HF inserted",
             );
-            self.buses.insert(bus);
+            self.buses.insert(bus, BusState::Establishing);
             if self.event_driven {
                 self.sched_init_bus(id);
             }
@@ -2013,8 +2239,17 @@ impl RmbNetwork {
         if !self.cfg.compaction {
             return;
         }
-        match self.opts.compaction_mode.clone() {
+        match &self.opts.compaction_mode {
             CompactionMode::Synchronous => {
+                if self.track_dirty
+                    && self.sched.compact_dirty.is_empty()
+                    && self.sched.pending_wakes.is_empty()
+                {
+                    // Every live bus has assessed clean in both cycle
+                    // phases and nothing woke one since: the dense scan
+                    // would decide no move.
+                    return;
+                }
                 let phase = Phase::of_tick(self.now.get());
                 // Decide against the phase-start snapshot, then apply: the
                 // odd/even assessment rule guarantees the decided moves are
@@ -2031,6 +2266,7 @@ impl RmbNetwork {
                 self.scratch_moves = moves;
             }
             CompactionMode::Handshake { periods } => {
+                let periods = periods.clone();
                 let now = self.now.get();
                 let n = self.cfg.nodes().as_usize();
                 // `i` is simultaneously a period index, a ring position
@@ -2088,14 +2324,14 @@ impl RmbNetwork {
         out: &mut Vec<MoveCmd>,
     ) {
         out.clear();
-        for (id, bus) in self.buses.iter() {
-            if !bus.state.compactable() {
+        for (bus, state) in self.buses.values_with_state() {
+            if !state.compactable() {
                 continue;
             }
-            if bus.state.pre_hack() && !self.cfg.early_compaction {
+            if state.pre_hack() && !self.cfg.early_compaction {
                 continue;
             }
-            self.collect_bus_moves(id, bus, phase, only_node, out);
+            self.collect_bus_moves(bus.id, bus, state, phase, only_node, out);
         }
     }
 
@@ -2106,6 +2342,7 @@ impl RmbNetwork {
         &self,
         id: VirtualBusId,
         bus: &VirtualBus,
+        state: BusState,
         phase: Phase,
         only_node: Option<NodeId>,
         out: &mut Vec<MoveCmd>,
@@ -2122,7 +2359,7 @@ impl RmbNetwork {
             if !assessed_in_phase(node, height, phase) {
                 continue;
             }
-            let ctx = self.hop_context(bus, j);
+            let ctx = self.hop_context(bus, state, j);
             if ctx.switchable_down().is_some() {
                 let to = height.lower().expect("switchable implies not bottom");
                 out.push((id, j, height, to, node.as_usize()));
@@ -2155,11 +2392,12 @@ impl RmbNetwork {
             };
             let before = out.len();
             let eligible = {
-                let bus = self.buses.get(id).expect("slot implies live");
-                let ok = bus.state.compactable()
-                    && (self.cfg.early_compaction || !bus.state.pre_hack());
+                let state = self.buses.state_at(slot);
+                let ok = state.compactable()
+                    && (self.cfg.early_compaction || !state.pre_hack());
                 if ok {
-                    self.collect_bus_moves(id, bus, phase, None, out);
+                    let bus = self.buses.get(id).expect("slot implies live");
+                    self.collect_bus_moves(id, bus, state, phase, None, out);
                 }
                 ok
             };
@@ -2190,8 +2428,8 @@ impl RmbNetwork {
         self.sched.compact_dirty = dirty;
     }
 
-    /// The compaction context of hop `j` of `bus`.
-    fn hop_context(&self, bus: &VirtualBus, j: usize) -> HopContext {
+    /// The compaction context of hop `j` of `bus` (in `state`).
+    fn hop_context(&self, bus: &VirtualBus, state: BusState, j: usize) -> HopContext {
         let ring = self.ring();
         let height = bus.heights[j];
         let upstream = if j == 0 {
@@ -2201,7 +2439,7 @@ impl RmbNetwork {
         };
         let last = bus.heights.len() - 1;
         let downstream = if j == last {
-            match bus.state {
+            match state {
                 // INCs monitor only the top segment for header flits, so
                 // the hop feeding a parked head must stay at the top.
                 BusState::Establishing if bus.head_node(ring) != bus.spec.destination => {
@@ -2233,8 +2471,27 @@ impl RmbNetwork {
     fn apply_move(&mut self, id: VirtualBusId, j: usize, from: BusIndex, to: BusIndex, hop: usize) {
         debug_assert_eq!(self.seg(hop, from.as_usize()), Some(id));
         debug_assert!(self.seg(hop, to.as_usize()).is_none());
-        self.release(hop, from);
-        self.occupy(hop, to, id);
+        let k = self.cfg.buses() as usize;
+        let from_idx = hop * k + from.as_usize();
+        let to_idx = hop * k + to.as_usize();
+        debug_assert_eq!(self.fault_count[to_idx], 0, "moving onto a faulted segment");
+        self.segments[from_idx] = None;
+        self.segments[to_idx] = Some(id);
+        self.occ.move_occupied(hop, from.as_usize(), to.as_usize());
+        if self.fault_count[from_idx] == 0 {
+            // A same-hop move swaps which layer owns the segment but
+            // leaves `busy_segments`, `free_per_hop`, and the full-hops
+            // lane exactly as they were — only the wake is needed.
+            self.wake_above(hop, from);
+        } else {
+            // The vacated segment faulted under its occupant: it stays
+            // out of the availability pool, so the hop net-loses the
+            // free segment the move consumed.
+            self.free_per_hop[hop] -= 1;
+            if self.free_per_hop[hop] == 0 {
+                self.occ.assign_full(hop, true);
+            }
+        }
         let bus = self.buses.get_mut(id).expect("moving a live bus");
         bus.heights[j] = to;
         self.compaction_moves += 1;
@@ -2252,7 +2509,10 @@ impl RmbNetwork {
     }
 
     fn finish_tick(&mut self) {
-        self.utilization.record(self.utilization());
+        if self.busy_segments != self.util_sample.0 {
+            self.util_sample = (self.busy_segments, self.utilization());
+        }
+        self.utilization.record(self.util_sample.1);
         self.peak_virtual_buses = self.peak_virtual_buses.max(self.buses.len());
         self.now = self.now.next();
         if self.opts.checked {
@@ -2289,6 +2549,10 @@ impl RmbNetwork {
         *slot = Some(id);
         self.busy_segments += 1;
         self.free_per_hop[hop] -= 1;
+        self.occ.assign_occupied(hop, bus.as_usize(), true);
+        if self.free_per_hop[hop] == 0 {
+            self.occ.assign_full(hop, true);
+        }
     }
 
     fn release(&mut self, hop: usize, bus: BusIndex) {
@@ -2297,10 +2561,15 @@ impl RmbNetwork {
         debug_assert!(slot.is_some(), "releasing a free segment");
         *slot = None;
         self.busy_segments -= 1;
+        self.occ.assign_occupied(hop, bus.as_usize(), false);
         // A segment that faulted under its occupant stays out of the
         // availability pool; the free count comes back on repair.
         if self.fault_count[idx] == 0 {
             self.free_per_hop[hop] += 1;
+            if self.free_per_hop[hop] == 1 {
+                // Only a 0 → 1 transition can have the full bit set.
+                self.occ.assign_full(hop, false);
+            }
             self.wake_above(hop, bus);
         }
     }
@@ -2371,7 +2640,6 @@ mod slab_tests {
             taps: Vec::new(),
             armed_taps: 0,
             fault_killed: false,
-            state: BusState::Establishing,
         }
     }
 
@@ -2379,8 +2647,17 @@ mod slab_tests {
     fn insert_get_take_discard_cycle() {
         let mut slab = BusSlab::default();
         for id in 0..5 {
-            slab.insert(dummy_bus(id));
+            slab.insert(dummy_bus(id), BusState::Establishing);
         }
+        assert_eq!(
+            slab.state(VirtualBusId::new(3)),
+            Some(BusState::Establishing)
+        );
+        slab.set_state(VirtualBusId::new(3), BusState::TearingDown { freed: 0 });
+        assert_eq!(
+            slab.state(VirtualBusId::new(3)),
+            Some(BusState::TearingDown { freed: 0 })
+        );
         assert_eq!(slab.len(), 5);
         assert_eq!(slab.get(VirtualBusId::new(3)).unwrap().id.get(), 3);
         // Iteration is id-ascending.
@@ -2399,7 +2676,8 @@ mod slab_tests {
                 slab.discard(id);
             } else {
                 slab.put_back(id, bus);
-                slab.set_active(kept, id);
+                let slot = slab.slot(id).expect("live bus");
+                slab.set_active(kept, id, slot);
                 kept += 1;
             }
         }
@@ -2408,8 +2686,13 @@ mod slab_tests {
         assert!(slab.get(VirtualBusId::new(1)).is_none());
         let order: Vec<u64> = slab.iter().map(|(id, _)| id.get()).collect();
         assert_eq!(order, vec![0, 2, 4]);
-        // New ids recycle freed slots but keep ascending order.
-        slab.insert(dummy_bus(5));
+        // New ids recycle freed slots but keep ascending order (and the
+        // recycled slot's state lane is overwritten, not inherited).
+        slab.insert(dummy_bus(5), BusState::Establishing);
+        assert_eq!(
+            slab.state(VirtualBusId::new(5)),
+            Some(BusState::Establishing)
+        );
         let order: Vec<u64> = slab.iter().map(|(id, _)| id.get()).collect();
         assert_eq!(order, vec![0, 2, 4, 5]);
     }

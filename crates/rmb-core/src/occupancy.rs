@@ -1,0 +1,243 @@
+//! Bit-parallel occupancy view of the physical segment array.
+//!
+//! The network's authoritative record of which segment belongs to which
+//! circuit is the `segments` owner table (one `Option<VirtualBusId>` per
+//! `hop × bus`). This module maintains a packed mirror of the *boolean*
+//! facts the hot path asks about, one bit per segment per bus layer:
+//!
+//! * occupied lane of bus `b` — bit `hop` set ⟺ `segments[hop·k + b]` is `Some`,
+//! * faulted lane of bus `b`  — bit `hop` set ⟺ `fault_count[hop·k + b] > 0`,
+//! * full-hops lane — bit `hop` set ⟺ the hop has no usable free segment
+//!   (`free_per_hop[hop] == 0`).
+//!
+//! With these, clockwise path feasibility over a span is one wrap-aware
+//! masked-range test on the full-hops lane (see [`rmb_sim::arc_any`])
+//! instead of a per-hop slab walk, and segment availability is two bit
+//! probes. All `2k + 1` lanes live in a single contiguous word array —
+//! one allocation per network, with each bus's occupied and faulted lanes
+//! adjacent so the paired probe in [`Occupancy::blocked`] stays on one
+//! cache line for rings up to 64 hops. The bitmaps are updated in lockstep
+//! at every owner-table transition (occupy / release / fault / repair);
+//! invariant #6 ([`Occupancy::verify`]) rebuilds them from scratch in
+//! checked runs and demands equality.
+
+use rmb_sim::arc_any;
+use rmb_types::VirtualBusId;
+
+/// Packed occupancy bitmaps, kept in lockstep with the segment owner
+/// table. See the module docs for the exact bit semantics and layout.
+#[derive(Debug, Clone)]
+pub(crate) struct Occupancy {
+    /// All lanes, contiguous: for bus `b`, occupied words start at
+    /// `2b · wpr` and faulted words at `(2b + 1) · wpr`; the full-hops
+    /// lane starts at `2k · wpr`.
+    words: Vec<u64>,
+    /// Ring length (hops).
+    n: usize,
+    /// Words per lane: `n.div_ceil(64)`.
+    wpr: usize,
+    /// Word offset of the full-hops lane (`2k · wpr`).
+    full_off: usize,
+}
+
+impl Occupancy {
+    /// All-free occupancy for a ring of `n` hops with `k` bus layers.
+    pub(crate) fn new(n: usize, k: usize) -> Self {
+        let wpr = n.div_ceil(64);
+        Occupancy {
+            words: vec![0; (2 * k + 1) * wpr],
+            n,
+            wpr,
+            full_off: 2 * k * wpr,
+        }
+    }
+
+    /// Word index and bit mask addressing `hop` within the lane at `off`.
+    #[inline]
+    fn bit(&self, off: usize, hop: usize) -> (usize, u64) {
+        debug_assert!(hop < self.n, "hop {hop} out of range 0..{}", self.n);
+        (off + hop / 64, 1u64 << (hop % 64))
+    }
+
+    #[inline]
+    fn write(&mut self, off: usize, hop: usize, value: bool) {
+        let (w, m) = self.bit(off, hop);
+        if value {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Records that segment `(hop, bus)` gained or lost an owner.
+    #[inline]
+    pub(crate) fn assign_occupied(&mut self, hop: usize, bus: usize, owned: bool) {
+        self.write(2 * bus * self.wpr, hop, owned);
+    }
+
+    /// Records that segment `(hop, bus)` crossed into or out of the
+    /// faulted set (fault_count 0 → 1 or 1 → 0).
+    #[inline]
+    pub(crate) fn assign_faulted(&mut self, hop: usize, bus: usize, faulted: bool) {
+        self.write((2 * bus + 1) * self.wpr, hop, faulted);
+    }
+
+    /// Moves the owner bit of `hop` from bus `from`'s occupied lane to
+    /// bus `to`'s in one fused update — the bitmap form of a same-hop
+    /// compaction move, which leaves the full-hops lane untouched.
+    #[inline]
+    pub(crate) fn move_occupied(&mut self, hop: usize, from: usize, to: usize) {
+        let (w, m) = self.bit(0, hop);
+        self.words[2 * from * self.wpr + w] &= !m;
+        self.words[2 * to * self.wpr + w] |= m;
+    }
+
+    /// Records whether hop `hop` currently has zero free segments.
+    #[inline]
+    pub(crate) fn assign_full(&mut self, hop: usize, full: bool) {
+        self.write(self.full_off, hop, full);
+    }
+
+    /// `true` if segment `(hop, bus)` is owned or faulted — the bitmap
+    /// form of "not available".
+    #[inline]
+    pub(crate) fn blocked(&self, hop: usize, bus: usize) -> bool {
+        let (w, m) = self.bit(2 * bus * self.wpr, hop);
+        (self.words[w] | self.words[w + self.wpr]) & m != 0
+    }
+
+    /// `true` if every hop of the clockwise arc `[start, start + span)`
+    /// still has a free segment — the bitmap form of path feasibility.
+    #[inline]
+    pub(crate) fn span_feasible(&self, start: usize, span: usize) -> bool {
+        !arc_any(&self.words[self.full_off..], self.n, start, span)
+    }
+
+    /// The bit at `hop` of the lane starting at word `off`.
+    #[inline]
+    fn get(&self, off: usize, hop: usize) -> bool {
+        let (w, m) = self.bit(off, hop);
+        self.words[w] & m != 0
+    }
+
+    /// Rebuilds the expected bitmaps from the authoritative tables and
+    /// reports the first divergence (invariant #6: bitmap lockstep).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-lockstep bit.
+    pub(crate) fn verify(
+        &self,
+        segments: &[Option<VirtualBusId>],
+        fault_count: &[u8],
+        free_per_hop: &[u16],
+        k: usize,
+    ) -> Result<(), String> {
+        for (hop, &free) in free_per_hop.iter().enumerate() {
+            for bus in 0..k {
+                let i = hop * k + bus;
+                if self.get(2 * bus * self.wpr, hop) != segments[i].is_some() {
+                    return Err(format!(
+                        "occupied bit out of lockstep at (hop {hop}, bus {bus}): \
+                         bitmap says {}, owner table says {:?}",
+                        self.get(2 * bus * self.wpr, hop),
+                        segments[i]
+                    ));
+                }
+                if self.get((2 * bus + 1) * self.wpr, hop) != (fault_count[i] > 0) {
+                    return Err(format!(
+                        "faulted bit out of lockstep at (hop {hop}, bus {bus}): \
+                         bitmap says {}, fault count is {}",
+                        self.get((2 * bus + 1) * self.wpr, hop),
+                        fault_count[i]
+                    ));
+                }
+            }
+            if self.get(self.full_off, hop) != (free == 0) {
+                return Err(format!(
+                    "full-hop bit out of lockstep at hop {hop}: bitmap says {}, \
+                     free count is {}",
+                    self.get(self.full_off, hop),
+                    free
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_tracks_both_bitmaps() {
+        let mut occ = Occupancy::new(8, 2);
+        assert!(!occ.blocked(3, 1));
+        occ.assign_occupied(3, 1, true);
+        assert!(occ.blocked(3, 1));
+        assert!(!occ.blocked(3, 0));
+        occ.assign_occupied(3, 1, false);
+        occ.assign_faulted(3, 1, true);
+        assert!(occ.blocked(3, 1));
+        occ.assign_faulted(3, 1, false);
+        assert!(!occ.blocked(3, 1));
+    }
+
+    #[test]
+    fn span_feasibility_wraps_the_cut() {
+        let mut occ = Occupancy::new(8, 2);
+        assert!(occ.span_feasible(6, 4));
+        occ.assign_full(1, true);
+        assert!(!occ.span_feasible(6, 4), "arc 6,7,0,1 hits the full hop");
+        assert!(occ.span_feasible(6, 3), "arc 6,7,0 stops short of it");
+        assert!(occ.span_feasible(2, 7));
+        occ.assign_full(1, false);
+        assert!(occ.span_feasible(6, 4));
+    }
+
+    #[test]
+    fn lanes_stay_independent_past_one_word() {
+        // 130 hops → 3 words per lane; probe bits either side of the
+        // word boundaries in distinct lanes of a 3-bus ring.
+        let mut occ = Occupancy::new(130, 3);
+        occ.assign_occupied(63, 0, true);
+        occ.assign_occupied(64, 2, true);
+        occ.assign_faulted(129, 1, true);
+        assert!(occ.blocked(63, 0) && !occ.blocked(64, 0));
+        assert!(occ.blocked(64, 2) && !occ.blocked(63, 2));
+        assert!(occ.blocked(129, 1) && !occ.blocked(128, 1));
+        assert!(occ.span_feasible(120, 130), "full lane untouched");
+        occ.assign_full(129, true);
+        assert!(!occ.span_feasible(120, 30), "wrapping arc sees hop 129");
+    }
+
+    #[test]
+    fn verify_accepts_lockstep_state() {
+        let (n, k) = (4, 2);
+        let mut occ = Occupancy::new(n, k);
+        let mut segments: Vec<Option<VirtualBusId>> = vec![None; n * k];
+        let mut fault_count = vec![0u8; n * k];
+        let mut free = vec![k as u16; n];
+        // Occupy (2, 1), fault (0, 0).
+        segments[2 * k + 1] = Some(VirtualBusId::new(9));
+        occ.assign_occupied(2, 1, true);
+        free[2] -= 1;
+        fault_count[0] = 1;
+        occ.assign_faulted(0, 0, true);
+        free[0] -= 1;
+        assert_eq!(occ.verify(&segments, &fault_count, &free, k), Ok(()));
+    }
+
+    #[test]
+    fn verify_catches_a_stale_bit() {
+        let (n, k) = (4, 2);
+        let occ = Occupancy::new(n, k);
+        let mut segments: Vec<Option<VirtualBusId>> = vec![None; n * k];
+        segments[5] = Some(VirtualBusId::new(1)); // owner table moved, bitmap didn't
+        let fault_count = vec![0u8; n * k];
+        let free = vec![k as u16; n];
+        let err = occ.verify(&segments, &fault_count, &free, k).unwrap_err();
+        assert!(err.contains("occupied bit out of lockstep"), "{err}");
+    }
+}

@@ -41,6 +41,27 @@ pub enum SchedulerMode {
     DenseSweep,
 }
 
+/// How the hot path answers "is this segment usable / is this span
+/// clear?" queries.
+///
+/// Both answers come from the same protocol state and are always
+/// identical; the slab walk is retained as the cross-check oracle for the
+/// bit-parallel default, mirroring how [`SchedulerMode::DenseSweep`]
+/// backs the event-driven engine (see the feasibility oracle suite and
+/// invariant #6, which keeps the bitmaps in lockstep with the owner
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeasibilityMode {
+    /// Packed per-bus occupancy bitmaps: clockwise path feasibility is a
+    /// wrap-aware masked-range test, availability two bit probes. The
+    /// default.
+    #[default]
+    Bitmap,
+    /// The classic per-hop walk over `free_per_hop` and the segment owner
+    /// table. Kept as the reference oracle and for perf comparison.
+    SlabWalk,
+}
+
 /// Runtime options of a simulation, distinct from the physical
 /// configuration in [`RmbConfig`]: everything here changes how the run is
 /// *driven* (compaction engine, fault schedule, instrumentation), not what
@@ -75,6 +96,9 @@ pub struct SimOptions {
     /// Which per-tick execution engine to use. Event-driven by default;
     /// the dense sweep is the equivalence oracle.
     pub scheduler: SchedulerMode,
+    /// How availability / path-feasibility queries are answered. Bitmap
+    /// by default; the slab walk is the equivalence oracle.
+    pub feasibility: FeasibilityMode,
 }
 
 impl Default for SimOptions {
@@ -88,6 +112,7 @@ impl Default for SimOptions {
             fault_seed: 0,
             max_retries: None,
             scheduler: SchedulerMode::EventDriven,
+            feasibility: FeasibilityMode::Bitmap,
         }
     }
 }
@@ -171,6 +196,14 @@ impl RmbNetworkBuilder {
         self
     }
 
+    /// Selects the feasibility kernel (packed bitmaps or the slab-walk
+    /// oracle).
+    #[must_use]
+    pub fn feasibility(mut self, mode: FeasibilityMode) -> Self {
+        self.opts.feasibility = mode;
+        self
+    }
+
     /// The options accumulated so far.
     pub fn options(&self) -> &SimOptions {
         &self.opts
@@ -204,6 +237,7 @@ mod tests {
         assert!(opts.fault_plan.is_empty());
         assert_eq!(opts.max_retries, None);
         assert_eq!(opts.scheduler, SchedulerMode::EventDriven);
+        assert_eq!(opts.feasibility, FeasibilityMode::Bitmap);
     }
 
     #[test]
@@ -217,9 +251,11 @@ mod tests {
             .fault_plan(plan.clone())
             .fault_seed(7)
             .max_retries(3)
-            .scheduler(SchedulerMode::DenseSweep);
+            .scheduler(SchedulerMode::DenseSweep)
+            .feasibility(FeasibilityMode::SlabWalk);
         let o = b.options();
         assert_eq!(o.scheduler, SchedulerMode::DenseSweep);
+        assert_eq!(o.feasibility, FeasibilityMode::SlabWalk);
         assert!(!o.fast_forward);
         assert!(o.checked);
         assert!(o.recording);

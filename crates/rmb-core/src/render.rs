@@ -54,11 +54,11 @@ pub fn bus_letter(id: VirtualBusId) -> char {
 /// height profile (the Fig. 2 "virtual bus" view).
 pub fn render_virtual_buses(net: &RmbNetwork) -> String {
     let mut out = String::new();
-    for bus in net.virtual_buses() {
+    for (bus, state) in net.virtual_buses_with_state() {
         let profile: Vec<String> = bus
             .heights
             .iter()
-            .take(bus.active_hops())
+            .take(bus.active_hops(state))
             .map(|h| h.index().to_string())
             .collect();
         let _ = writeln!(
@@ -69,7 +69,7 @@ pub fn render_virtual_buses(net: &RmbNetwork) -> String {
             bus.spec.source,
             bus.spec.destination,
             profile.join(","),
-            bus.state,
+            state,
         );
     }
     out

@@ -5,13 +5,21 @@
 //! segment it occupies on every hop between source and destination; the
 //! compaction protocol lowers these heights over time without ever
 //! breaking the circuit.
+//!
+//! Lifecycle state lives in a struct-of-arrays lane owned by the network's
+//! bus slab, not on [`VirtualBus`] itself: the per-tick kernel touches only
+//! that lane (plus the scheduler's `next_due` lane) for a streaming
+//! circuit, leaving the cold request metadata here untouched.
 
 use rmb_types::{BusIndex, MessageSpec, NodeId, RequestId, RingSize, VirtualBusId};
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Lifecycle state of a virtual bus.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` by design: the tick kernel reads a bus's state out of the slab's
+/// state lane into a register-resident local, advances it, and writes it
+/// back — no per-circuit heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BusState {
     /// The header flit is drawing the bus toward the destination; the head
     /// is parked at the INC one hop past the last occupied segment.
@@ -74,25 +82,98 @@ impl fmt::Display for BusState {
 ///
 /// Flits advance one segment per tick, so a data flit sent at tick `s`
 /// over a circuit of `L` hops is delivered at `s + L` and its `Dack` is
-/// back at the source at `s + 2L`. The queues hold send ticks awaiting
-/// those two milestones.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// back at the source at `s + 2L`. The source may have at most `window`
+/// unacked flits outstanding, which pins every send tick to a closed form:
+/// with the circuit up at tick `c` (so sends start at `c + 1`), flit `i`
+/// (0-based) goes out at
+///
+/// ```text
+/// t_i = c + 1 + i + max(0, 2L − W) · ⌊i / W⌋
+/// ```
+///
+/// because the send times obey `t_i = max(t_{i−1} + 1, t_{i−W} + 2L)`:
+/// back-to-back while the window has room, then stalled until the ack of
+/// the flit a window ago returns. That closed form replaces the old
+/// per-flit `VecDeque`s of send ticks with three counters (`next_seq`,
+/// `delivered`, `acked`) — the whole stream state is `Copy` and fits in a
+/// cache line, which is what makes the per-active-circuit tick budget
+/// reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StreamState {
     /// Tick at which the `Hack` reached the source (circuit established).
     pub circuit_at: u64,
-    /// Next data-flit sequence number to send.
+    /// Circuit length in hops, fixed once streaming starts (compaction
+    /// changes the heights' *values*, never the count).
+    pub span: u32,
+    /// Total data flits of the message, snapshotted from the spec.
+    pub data_flits: u32,
+    /// Ack window `W`: max unacked flits in flight (`u32::MAX` =
+    /// unlimited, `1` = per-flit stop-and-wait).
+    pub window: u32,
+    /// Next data-flit sequence number to send (= flits sent so far).
     pub next_seq: u32,
-    /// Send ticks of data flits not yet delivered to the destination.
-    pub awaiting_delivery: VecDeque<u64>,
-    /// Send ticks of data flits whose `Dack` has not yet returned.
-    pub awaiting_ack: VecDeque<u64>,
-    /// Data flits delivered so far.
+    /// Data flits delivered so far; flit `delivered` is the next to land.
     pub delivered: u32,
+    /// Data flits whose `Dack` has returned; flit `acked`'s ack is the
+    /// next due back.
+    pub acked: u32,
     /// Tick the final flit was sent, once all data flits are out.
     pub ff_sent_at: Option<u64>,
 }
 
-/// One virtual bus.
+impl StreamState {
+    /// Fresh stream for a circuit established at `circuit_at` over `span`
+    /// hops, carrying `data_flits` flits under ack window `window`.
+    #[must_use]
+    pub const fn new(circuit_at: u64, span: u32, data_flits: u32, window: u32) -> Self {
+        StreamState {
+            circuit_at,
+            span,
+            data_flits,
+            window,
+            next_seq: 0,
+            delivered: 0,
+            acked: 0,
+            ff_sent_at: None,
+        }
+    }
+
+    /// The tick data flit `i` (0-based) is sent, per the closed form
+    /// above. Only windows narrower than the round trip (`W < 2L`) ever
+    /// stall the source, so the division is skipped in the common
+    /// unlimited/wide-window case.
+    #[inline]
+    #[must_use]
+    pub fn send_tick(&self, i: u32) -> u64 {
+        let base = self.circuit_at + 1 + u64::from(i);
+        let excess = (2 * u64::from(self.span)).saturating_sub(u64::from(self.window));
+        if excess == 0 {
+            base
+        } else {
+            base + excess * u64::from(i / self.window)
+        }
+    }
+
+    /// Flits sent but not yet delivered.
+    #[inline]
+    #[must_use]
+    pub const fn undelivered(&self) -> u32 {
+        self.next_seq - self.delivered
+    }
+
+    /// Flits sent but not yet acked — the window occupancy.
+    #[inline]
+    #[must_use]
+    pub const fn unacked(&self) -> u32 {
+        self.next_seq - self.acked
+    }
+}
+
+/// One virtual bus: the cold, per-request side of a circuit.
+///
+/// The lifecycle [`BusState`] is *not* stored here — it lives in the bus
+/// slab's state lane (see `RmbNetwork::bus_state`), so methods that depend
+/// on it take the state as a parameter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirtualBus {
     /// Identity of this circuit.
@@ -124,8 +205,6 @@ pub struct VirtualBus {
     /// `true` when this attempt was torn down by a fault (as opposed to a
     /// destination `Nack`); selects the bounded-exponential retry backoff.
     pub fault_killed: bool,
-    /// Lifecycle state.
-    pub state: BusState,
 }
 
 impl VirtualBus {
@@ -141,10 +220,10 @@ impl VirtualBus {
         ring.advance(self.spec.source, self.heights.len() as u32)
     }
 
-    /// Number of hops still occupied (the tail `freed` hops are released
-    /// first during teardown).
-    pub fn active_hops(&self) -> usize {
-        match self.state {
+    /// Number of hops still occupied under lifecycle state `state` (the
+    /// tail `freed` hops are released first during teardown).
+    pub fn active_hops(&self, state: BusState) -> usize {
+        match state {
             BusState::TearingDown { freed } | BusState::Nacked { freed } => {
                 self.heights.len().saturating_sub(freed)
             }
@@ -176,7 +255,6 @@ mod tests {
             taps: Vec::new(),
             armed_taps: 0,
             fault_killed: false,
-            state: BusState::Establishing,
         }
     }
 
@@ -192,12 +270,10 @@ mod tests {
 
     #[test]
     fn active_hops_shrink_during_teardown() {
-        let mut b = bus(0, 4, &[1, 1, 1, 1]);
-        assert_eq!(b.active_hops(), 4);
-        b.state = BusState::TearingDown { freed: 3 };
-        assert_eq!(b.active_hops(), 1);
-        b.state = BusState::Nacked { freed: 5 };
-        assert_eq!(b.active_hops(), 0);
+        let b = bus(0, 4, &[1, 1, 1, 1]);
+        assert_eq!(b.active_hops(BusState::Establishing), 4);
+        assert_eq!(b.active_hops(BusState::TearingDown { freed: 3 }), 1);
+        assert_eq!(b.active_hops(BusState::Nacked { freed: 5 }), 0);
     }
 
     #[test]
@@ -229,5 +305,48 @@ mod tests {
             "tearing-down(2)"
         );
         assert_eq!(BusState::Nacked { freed: 1 }.to_string(), "nacked(1)");
+    }
+
+    /// The closed form must satisfy the windowed-send recurrence
+    /// `t_i = max(t_{i-1} + 1, t_{i-W} + 2L)` with `t_0 = c + 1` for every
+    /// span/window combination, including the stop-and-wait and unlimited
+    /// extremes.
+    #[test]
+    fn send_tick_satisfies_the_window_recurrence() {
+        for &(span, window) in &[
+            (1u32, 1u32),
+            (1, 2),
+            (3, 1),
+            (3, 2),
+            (3, 5),
+            (3, 6),
+            (3, 7),
+            (7, 3),
+            (5, u32::MAX),
+        ] {
+            let s = StreamState::new(17, span, 1000, window);
+            assert_eq!(s.send_tick(0), 18, "t_0 with L={span} W={window}");
+            for i in 1..200u32 {
+                let mut expect = s.send_tick(i - 1) + 1;
+                if i >= window {
+                    expect = expect.max(s.send_tick(i - window) + 2 * u64::from(span));
+                }
+                assert_eq!(
+                    s.send_tick(i),
+                    expect,
+                    "recurrence at i={i} L={span} W={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_counters_track_queue_lengths() {
+        let mut s = StreamState::new(0, 2, 10, u32::MAX);
+        s.next_seq = 7;
+        s.delivered = 4;
+        s.acked = 2;
+        assert_eq!(s.undelivered(), 3);
+        assert_eq!(s.unacked(), 5);
     }
 }

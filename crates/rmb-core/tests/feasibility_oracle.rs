@@ -1,0 +1,156 @@
+//! Feasibility-kernel equivalence: the packed-bitmap answers must match
+//! the slab-walk oracle on *every* query, at *every* observation point,
+//! under random workloads and random fault/repair schedules.
+//!
+//! Two networks run in lockstep — identical configuration, workload,
+//! fault plan and seed, differing only in [`FeasibilityMode`]. At random
+//! sample ticks the test asks both for [`RmbNetwork::path_feasible`] over
+//! all (src, dst) pairs — including the wrap-around spans crossing the
+//! ring's cut — and requires identical verdicts. Both runs are `checked`,
+//! so invariant #6 (bitmap lockstep) is also re-verified after every tick.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rmb_core::{FeasibilityMode, RmbNetwork, SchedulerMode};
+use rmb_types::{BusIndex, FaultPlan, MessageSpec, NodeId, RmbConfig};
+
+/// Workload item: (source, destination offset, flits, delay).
+type RawMsg = (u32, u32, u32, u64);
+
+/// Raw fault item: (kind, at, node, bus, outage).
+type RawFault = (u8, u64, u32, u16, u64);
+
+fn build_net(
+    cfg: RmbConfig,
+    mode: FeasibilityMode,
+    plan: &FaultPlan,
+    msgs: &[MessageSpec],
+) -> RmbNetwork {
+    let mut net = RmbNetwork::builder(cfg)
+        .feasibility(mode)
+        .scheduler(SchedulerMode::EventDriven)
+        .checked(true)
+        .fault_plan(plan.clone())
+        .fault_seed(11)
+        .max_retries(6)
+        .build();
+    net.submit_all(msgs.to_vec()).unwrap();
+    net
+}
+
+/// Every (src, dst) pair, src != dst — spans 1..N-1, including every
+/// wrap-around arc across the ring's word-boundary cut.
+fn assert_all_queries_agree(bitmap: &RmbNetwork, slab: &RmbNetwork, n: u32, tick: u64) {
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let (s, d) = (NodeId::new(src), NodeId::new(dst));
+            assert_eq!(
+                bitmap.path_feasible(s, d),
+                slab.path_feasible(s, d),
+                "kernels disagree on {s} -> {d} at tick {tick}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traffic plus random segment faults and repairs: the two
+    /// kernels answer every feasibility query identically at every
+    /// sampled instant.
+    #[test]
+    fn bitmap_matches_slab_walk_under_faults(
+        n in 4u32..14,
+        k in 1u16..4,
+        raw in vec(any::<RawMsg>(), 1..10),
+        faults in vec(any::<RawFault>(), 0..8),
+        stride in 1u64..40,
+    ) {
+        let msgs: Vec<MessageSpec> = raw
+            .iter()
+            .map(|&(s, off, flits, at)| {
+                let src = s % n;
+                let dst = (src + 1 + off % (n - 1)) % n;
+                MessageSpec::new(NodeId::new(src), NodeId::new(dst), flits % 24).at(at % 300)
+            })
+            .collect();
+        let mut plan = FaultPlan::new();
+        for &(kind, at, node, bus, outage) in &faults {
+            let at = at % 1_000;
+            let node = NodeId::new(node % n);
+            let repair = if outage % 3 == 0 { None } else { Some(at + 1 + outage % 400) };
+            plan = match kind % 4 {
+                0 | 1 => plan.segment_stuck(at, node, BusIndex::new(bus % k), repair),
+                2 => plan.link_cut(at, node, repair),
+                _ => plan.inc_dead(at, node, repair),
+            };
+        }
+        let cfg = RmbConfig::builder(n, k)
+            .head_timeout(8 * u64::from(n))
+            .retry_backoff(u64::from(n))
+            .build()
+            .unwrap();
+        let mut bitmap = build_net(cfg, FeasibilityMode::Bitmap, &plan, &msgs);
+        let mut slab = build_net(cfg, FeasibilityMode::SlabWalk, &plan, &msgs);
+        assert_all_queries_agree(&bitmap, &slab, n, 0);
+        for tick in 0..2_000u64 {
+            if bitmap.is_quiescent() && slab.is_quiescent() && tick > 1_000 {
+                break;
+            }
+            bitmap.tick();
+            slab.tick();
+            if tick % stride == 0 {
+                assert_all_queries_agree(&bitmap, &slab, n, tick + 1);
+            }
+        }
+        assert_all_queries_agree(&bitmap, &slab, n, u64::MAX);
+        prop_assert_eq!(bitmap.report().delivered, slab.report().delivered);
+        prop_assert_eq!(bitmap.report().fault_kills, slab.report().fault_kills);
+    }
+}
+
+/// A saturated hop makes exactly the arcs crossing it infeasible, and a
+/// repair brings them back — checked in both kernels, across the ring
+/// cut where the occupancy bitmap's masked-range query splits into two
+/// word spans.
+#[test]
+fn saturation_and_repair_agree_across_the_cut() {
+    let n = 70u32; // > 64 so arcs straddle the bitmap's word boundary
+    let cfg = RmbConfig::new(n, 1).unwrap();
+    let plan = FaultPlan::new().segment_stuck(5, NodeId::new(67), BusIndex::new(0), Some(400));
+    let mk = |mode| {
+        RmbNetwork::builder(cfg)
+            .feasibility(mode)
+            .checked(true)
+            .fault_plan(plan.clone())
+            .build()
+    };
+    let mut bitmap = mk(FeasibilityMode::Bitmap);
+    let mut slab = mk(FeasibilityMode::SlabWalk);
+    for tick in 0..=500u64 {
+        assert_all_queries_agree(&bitmap, &slab, n, tick);
+        bitmap.tick();
+        slab.tick();
+    }
+    // While the fault at hop 67 is active (k = 1, so the hop is full),
+    // the wrapping path 60 -> 3 must read infeasible in both kernels.
+    let mut bitmap = mk(FeasibilityMode::Bitmap);
+    let mut slab = mk(FeasibilityMode::SlabWalk);
+    for _ in 0..50 {
+        bitmap.tick();
+        slab.tick();
+    }
+    assert!(!bitmap.path_feasible(NodeId::new(60), NodeId::new(3)));
+    assert!(!slab.path_feasible(NodeId::new(60), NodeId::new(3)));
+    assert!(bitmap.path_feasible(NodeId::new(0), NodeId::new(60)));
+    for _ in 0..400 {
+        bitmap.tick();
+        slab.tick();
+    }
+    assert!(bitmap.path_feasible(NodeId::new(60), NodeId::new(3)), "repair restores the arc");
+    assert!(slab.path_feasible(NodeId::new(60), NodeId::new(3)));
+}

@@ -138,7 +138,10 @@ fn nack_releases_all_segments() {
     // At most the two live circuits' segments are busy; the Nacked bus
     // must not leak segments. Invariant checking (set_checked) verifies
     // consistency; here we check the count is sane.
-    let live_hops: usize = net.virtual_buses().map(|b| b.active_hops()).sum();
+    let live_hops: usize = net
+        .virtual_buses()
+        .map(|b| b.active_hops(net.bus_state(b.id).expect("live bus")))
+        .sum();
     assert_eq!(net.busy_segments(), live_hops);
 }
 
@@ -263,7 +266,10 @@ fn compaction_settles_circuits_on_lowest_buses() {
     net.submit(msg(0, 6, 500)).unwrap();
     net.run(60);
     let bus = net.virtual_buses().next().expect("circuit is live");
-    assert!(matches!(bus.state, BusState::Streaming(_)));
+    assert!(matches!(
+        net.bus_state(bus.id),
+        Some(BusState::Streaming(_))
+    ));
     assert!(
         bus.heights.iter().all(|h| *h == BusIndex::new(0)),
         "heights: {:?}",
@@ -283,7 +289,7 @@ fn compaction_makes_room_for_k_circuits_on_shared_hop() {
     assert_eq!(net.active_virtual_buses(), 3);
     assert!(net
         .virtual_buses()
-        .all(|b| matches!(b.state, BusState::Streaming(_))));
+        .all(|b| matches!(net.bus_state(b.id), Some(BusState::Streaming(_)))));
     let report = net.run_to_quiescence(100_000);
     assert_eq!(report.delivered, 3);
 }

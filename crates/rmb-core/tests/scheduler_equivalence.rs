@@ -3,10 +3,15 @@
 //! same protocol trace, same [`RunReport`] — over random workloads,
 //! random fault schedules, and every protocol option. The dense sweep is
 //! the oracle; any divergence is a scheduler bug by definition.
+//!
+//! The same contract covers the feasibility kernel: the packed-bitmap
+//! default must match the slab-walk oracle, so every scenario here runs
+//! three ways — (event, bitmap), (event, slab-walk), (dense, slab-walk) —
+//! and all three observations must agree bit for bit (floats included).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rmb_core::{CompactionMode, RmbNetwork, RunReport, SchedulerMode};
+use rmb_core::{CompactionMode, FeasibilityMode, RmbNetwork, RunReport, SchedulerMode};
 use rmb_sim::trace::TraceEvent;
 use rmb_types::{AckMode, BusIndex, FaultPlan, MessageSpec, NodeId, RmbConfig};
 
@@ -54,6 +59,7 @@ struct Observed {
 fn observe(
     cfg: RmbConfig,
     mode: SchedulerMode,
+    feasibility: FeasibilityMode,
     compaction: CompactionMode,
     plan: &FaultPlan,
     seed: u64,
@@ -61,6 +67,7 @@ fn observe(
 ) -> Observed {
     let mut net = RmbNetwork::builder(cfg)
         .scheduler(mode)
+        .feasibility(feasibility)
         .compaction_mode(compaction)
         .checked(true)
         .recording(true)
@@ -78,7 +85,8 @@ fn observe(
     Observed { report, log, events: net.take_events() }
 }
 
-/// Asserts byte-identical behaviour between the two engines.
+/// Asserts byte-identical behaviour across engines and feasibility
+/// kernels: (event, bitmap) vs (event, slab-walk) vs (dense, slab-walk).
 fn assert_equivalent(
     cfg: RmbConfig,
     compaction: CompactionMode,
@@ -86,8 +94,45 @@ fn assert_equivalent(
     seed: u64,
     drive: &dyn Fn(&mut RmbNetwork),
 ) -> Result<(), TestCaseError> {
-    let ev = observe(cfg, SchedulerMode::EventDriven, compaction.clone(), plan, seed, drive);
-    let dn = observe(cfg, SchedulerMode::DenseSweep, compaction, plan, seed, drive);
+    let ev = observe(
+        cfg,
+        SchedulerMode::EventDriven,
+        FeasibilityMode::Bitmap,
+        compaction.clone(),
+        plan,
+        seed,
+        drive,
+    );
+    let sw = observe(
+        cfg,
+        SchedulerMode::EventDriven,
+        FeasibilityMode::SlabWalk,
+        compaction.clone(),
+        plan,
+        seed,
+        drive,
+    );
+    let dn = observe(
+        cfg,
+        SchedulerMode::DenseSweep,
+        FeasibilityMode::SlabWalk,
+        compaction,
+        plan,
+        seed,
+        drive,
+    );
+    // Same scheduler, different feasibility kernel: everything matches.
+    prop_assert_eq!(ev.report.ticks, sw.report.ticks);
+    prop_assert_eq!(&ev.log, &sw.log);
+    prop_assert_eq!(&ev.events, &sw.events);
+    prop_assert_eq!(
+        ev.report.mean_utilization.to_bits(),
+        sw.report.mean_utilization.to_bits()
+    );
+    prop_assert_eq!(
+        ev.report.mean_latency().to_bits(),
+        sw.report.mean_latency().to_bits()
+    );
     prop_assert_eq!(ev.report.ticks, dn.report.ticks);
     prop_assert_eq!(ev.report.delivered, dn.report.delivered);
     prop_assert_eq!(ev.report.refusals, dn.report.refusals);

@@ -13,6 +13,8 @@
 //!   O(1) lower-bound peek, used by the event-driven protocol scheduler.
 //! * [`IdSlab`] — flat id-keyed storage with sorted, allocation-free id
 //!   iteration for hot per-entity loops.
+//! * [`BitRing`] — circular `u64`-packed bitmaps with wrap-aware masked
+//!   range queries, the substrate of the bit-parallel occupancy kernel.
 //! * [`SimRng`] — seeded, stream-splittable randomness so that every
 //!   experiment is reproducible from a single seed.
 //! * [`stats`] — counters, online moments, histograms and time series used
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod clock;
 pub mod par;
 mod queue;
@@ -45,6 +48,7 @@ pub mod stats;
 pub mod trace;
 mod wheel;
 
+pub use bitset::{arc_any, BitRing};
 pub use clock::Tick;
 pub use par::{par_map, par_map_with};
 pub use queue::EventQueue;

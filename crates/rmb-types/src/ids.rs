@@ -187,12 +187,23 @@ impl RingSize {
     /// Number of clockwise hops from `from` to `to`. Data on the RMB flows
     /// only clockwise, so this is the path length of a message.
     pub const fn clockwise_distance(self, from: NodeId, to: NodeId) -> u32 {
-        (to.index() + self.0 - from.index()) % self.0
+        let d = to.index() + self.0 - from.index();
+        if d < self.0 {
+            d
+        } else {
+            d - self.0
+        }
     }
 
     /// Advances `node` by `hops` clockwise steps.
+    ///
+    /// Hop counts below the ring size (every per-hop walk in the
+    /// protocol) take the division-free path: one compare-subtract
+    /// instead of two hardware divides.
     pub const fn advance(self, node: NodeId, hops: u32) -> NodeId {
-        NodeId((node.index() + hops % self.0) % self.0)
+        let h = if hops < self.0 { hops } else { hops % self.0 };
+        let s = node.index() + h;
+        NodeId(if s < self.0 { s } else { s - self.0 })
     }
 
     /// Returns an iterator over all node identifiers `0..N`.

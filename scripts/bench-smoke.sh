@@ -20,12 +20,14 @@ cargo test -q -p rmb-core --test scheduler_equivalence
 echo "== release build =="
 cargo build --release -p rmb-bench --benches
 
-echo "== rmb_protocol + cycle_machine (short window) =="
+echo "== rmb_protocol + cycle_machine + tick_kernel (short window) =="
 bench_json="$(mktemp)"
 trap 'rm -f "$bench_json"' EXIT
 CRITERION_JSON="$bench_json" CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" \
   cargo bench -p rmb-bench --bench rmb_protocol
 CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" cargo bench -p rmb-bench --bench cycle_machine
+CRITERION_JSON="$bench_json" CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-20}" \
+  cargo bench -p rmb-bench --bench tick_kernel
 
 echo "== regression gate (rmb_tick/loaded/N64_k4 vs BENCH_PR2.json) =="
 # The saturated N=64, k=4 tick is the reference hot-path number. Fail if
@@ -51,6 +53,42 @@ awk -v m="$measured" -v b="$baseline" -v f="$factor" 'BEGIN {
     "rmb_tick/loaded/N64_k4", m, b, limit
   exit (m > limit) ? 1 : 0
 }' || { echo "regression gate FAILED for $gate_bench" >&2; exit 1; }
+
+echo "== per-active-circuit budget gate (tick_kernel vs 10 ns + BENCH_PR7.json) =="
+# The tentpole invariant of the bit-parallel kernel: a duty-cycle tick
+# costs at most RMB_NS_BUDGET (default 10) ns per active circuit, at any
+# ring size. The gate measures the active16 shapes, where the fixed
+# ~5 ns empty-tick cost is amortised enough that the number is the true
+# per-circuit marginal rather than harness overhead divided by four.
+# The budget check uses the median (it passes with >30% headroom, so a
+# noisy smoke window won't flake); the regression check compares against
+# the committed BENCH_PR7.json baseline with the same BENCH_GATE_FACTOR
+# slack as the PR 2 gate.
+budget="${RMB_NS_BUDGET:-10}"
+for gate_bench in "tick_kernel/per_circuit/N64_k8_active16" "tick_kernel/per_circuit/N1024_k8_active16"; do
+  esc="${gate_bench//\//\\/}"
+  measured="$(awk -F'"median_ns": ' '
+    /"name": "'"$esc"'"/ && NF > 1 { split($2, a, ","); print a[1]; exit }
+  ' "$bench_json")"
+  baseline="$(awk -F'"after_median_ns": ' '
+    /"benchmark": "'"$esc"'"/ { grab = 1 }
+    grab && NF > 1 { split($2, a, ","); print a[1]; exit }
+  ' BENCH_PR7.json)"
+  if [[ -z "$baseline" || -z "$measured" ]]; then
+    echo "perf gate: could not extract $gate_bench numbers" >&2
+    exit 1
+  fi
+  awk -v m="$measured" -v bud="$budget" -v active=16 -v name="$gate_bench" 'BEGIN {
+    per = m / active
+    printf "%s: %.2f ns per active circuit (budget %d ns)\n", name, per, bud
+    exit (per > bud) ? 1 : 0
+  }' || { echo "per-circuit budget gate FAILED for $gate_bench" >&2; exit 1; }
+  awk -v m="$measured" -v b="$baseline" -v f="${BENCH_GATE_FACTOR:-1.10}" -v name="$gate_bench" 'BEGIN {
+    limit = b * f
+    printf "%s: measured %.1f ns, baseline %.1f ns, limit %.1f ns\n", name, m, b, limit
+    exit (m > limit) ? 1 : 0
+  }' || { echo "regression gate FAILED for $gate_bench" >&2; exit 1; }
+done
 
 echo "== fault-tolerance sweep (tiny size) =="
 ft_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \

@@ -75,17 +75,19 @@ fn s22_no_data_before_hack() {
     for _ in 0..2 * span {
         net.tick();
         if let Some(bus) = net.virtual_buses().next() {
-            if let BusState::Streaming(StreamState { next_seq, .. }) = &bus.state {
+            if let Some(BusState::Streaming(StreamState { next_seq, .. })) =
+                net.bus_state(bus.id)
+            {
                 panic!("data flit {next_seq} sent before Hack returned")
             }
         }
     }
     net.tick();
     let bus = net.virtual_buses().next().expect("circuit live");
+    let state = net.bus_state(bus.id).expect("circuit live");
     assert!(
-        matches!(bus.state, BusState::Streaming(_)),
-        "streaming starts exactly after the Hack: {}",
-        bus.state
+        matches!(state, BusState::Streaming(_)),
+        "streaming starts exactly after the Hack: {state}"
     );
 }
 
@@ -106,7 +108,10 @@ fn s22_nack_releases_and_retries() {
         "second request refused while the first receives"
     );
     // The refused circuit's segments are fully released.
-    let live: usize = net.virtual_buses().map(|b| b.active_hops()).sum();
+    let live: usize = net
+        .virtual_buses()
+        .map(|b| b.active_hops(net.bus_state(b.id).expect("live bus")))
+        .sum();
     assert_eq!(net.busy_segments(), live);
     let report = net.run_to_quiescence(1_000_000);
     assert_eq!(report.delivered, 2, "retry eventually succeeds");
@@ -124,10 +129,11 @@ fn s22_fack_frees_ports_progressively() {
     for _ in 0..200 {
         net.tick();
         if let Some(bus) = net.virtual_buses().next() {
-            if matches!(bus.state, BusState::TearingDown { .. }) && bus.active_hops() < 6 {
+            let state = net.bus_state(bus.id).expect("live bus");
+            if matches!(state, BusState::TearingDown { .. }) && bus.active_hops(state) < 6 {
                 saw_partial_teardown = true;
                 // Freed tail hops are genuinely free; the prefix is busy.
-                assert_eq!(net.busy_segments(), bus.active_hops());
+                assert_eq!(net.busy_segments(), bus.active_hops(state));
             }
         }
     }
