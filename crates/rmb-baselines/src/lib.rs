@@ -55,3 +55,4 @@ pub use hypercube::Hypercube;
 pub use mesh::Mesh2D;
 pub use torus::KAryNCube;
 pub use traits::{Network, RoutingOutcome};
+pub use wormhole::{RoutingFn, WormholeEngine, WormholeReport};

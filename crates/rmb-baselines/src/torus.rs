@@ -107,6 +107,15 @@ impl KAryNCube {
         (v / stride) % self.radix as usize
     }
 
+    /// Dimension-ordered minimal routing with dateline VC selection, as a
+    /// [`crate::wormhole::RoutingFn`]-shaped oracle. Public so drivers
+    /// that own a [`crate::wormhole::WormholeEngine`] directly (the
+    /// open-loop serving adapter) can reuse the exact routing that
+    /// [`Network::route_messages`] uses.
+    pub fn candidates(&self, at: Vertex, dst: Vertex, salt: u64) -> Vec<usize> {
+        self.route(at, dst, salt)
+    }
+
     /// Dimension-ordered minimal routing with dateline VC selection.
     fn route(&self, at: Vertex, dst: Vertex, _salt: u64) -> Vec<usize> {
         let r = self.radix as usize;

@@ -7,9 +7,17 @@
 //! its acquired channels in place — deadlock freedom is the routing
 //! function's responsibility (e-cube, XY and fat-tree up/down all provide
 //! acyclic channel dependencies).
+//!
+//! The engine comes in two shapes: [`WormholeEngine`] is incremental
+//! (submit messages at any time, advance one tick at a time, poll
+//! completions through a cursor) so open-loop serving drivers can stream
+//! load through it; [`run_wormhole`] is the batch wrapper that feeds a
+//! fixed message list and runs to completion, preserving the original
+//! closed-loop semantics bit for bit.
 
 use crate::graph::{Graph, Vertex};
 use rmb_types::{DeliveredMessage, MessageSpec, RequestId};
+use std::collections::HashMap;
 
 /// Routing oracle: which channels may the header take next?
 pub trait RoutingFn {
@@ -83,6 +91,372 @@ pub struct WormholeReport {
     pub peak_busy_channels: usize,
 }
 
+/// Incremental wormhole simulator: the tick-at-a-time, submit-any-time
+/// core that both the batch [`run_wormhole`] wrapper and the open-loop
+/// serving driver share.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_baselines::{Graph, Vertex};
+/// use rmb_baselines::wormhole::WormholeEngine;
+/// use rmb_types::{MessageSpec, NodeId};
+///
+/// let mut g = Graph::new(4);
+/// for i in 0..4 {
+///     g.add_channel(i, (i + 1) % 4);
+/// }
+/// let route = |g: &Graph, at: Vertex, _d: Vertex, _s: u64| g.out_channels(at).to_vec();
+/// let mut eng = WormholeEngine::new(g, route, |n| n as Vertex);
+/// eng.submit(MessageSpec::new(NodeId::new(0), NodeId::new(2), 3));
+/// while eng.live_count() > 0 && eng.now() < 1_000 {
+///     eng.tick();
+/// }
+/// assert_eq!(eng.delivered().len(), 1);
+/// ```
+pub struct WormholeEngine<'a> {
+    graph: Graph,
+    route: Box<dyn RoutingFn + 'a>,
+    terminal: Box<dyn Fn(u32) -> Vertex + 'a>,
+    worms: Vec<Worm>,
+    owner: Vec<Option<usize>>,
+    busy_buffer: Vec<bool>,
+    /// Physical-link multiplexing: one flit per group per tick. Maps a
+    /// group id to the last tick a flit entered one of its channels.
+    group_last: HashMap<usize, u64>,
+    delivered: Vec<DeliveredMessage>,
+    now: u64,
+    last_progress: u64,
+    peak_busy: usize,
+    max_wire: u64,
+    /// Largest data-flit count submitted so far (stall-window input).
+    max_flits_seen: u64,
+    stalled: bool,
+}
+
+impl std::fmt::Debug for WormholeEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WormholeEngine")
+            .field("now", &self.now)
+            .field("worms", &self.worms.len())
+            .field("delivered", &self.delivered.len())
+            .field("stalled", &self.stalled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> WormholeEngine<'a> {
+    /// Creates an idle engine over `graph`. `terminal` maps message node
+    /// ids to graph vertices.
+    pub fn new(
+        graph: Graph,
+        route: impl RoutingFn + 'a,
+        terminal: impl Fn(u32) -> Vertex + 'a,
+    ) -> Self {
+        let channels = graph.channel_count();
+        let max_wire = (0..channels)
+            .map(|c| u64::from(graph.channel(c).latency))
+            .max()
+            .unwrap_or(1);
+        WormholeEngine {
+            graph,
+            route: Box::new(route),
+            terminal: Box::new(terminal),
+            worms: Vec::new(),
+            owner: vec![None; channels],
+            busy_buffer: vec![false; channels],
+            group_last: HashMap::new(),
+            delivered: Vec::new(),
+            now: 0,
+            last_progress: 0,
+            peak_busy: 0,
+            max_wire,
+            max_flits_seen: 0,
+            stalled: false,
+        }
+    }
+
+    /// Submits a message; it starts injecting at `spec.inject_at` (or the
+    /// current tick if that is already past). Returns the worm's request
+    /// id, which reappears in its [`DeliveredMessage`].
+    pub fn submit(&mut self, spec: MessageSpec) -> RequestId {
+        let request = RequestId::new(self.worms.len() as u64);
+        self.max_flits_seen = self.max_flits_seen.max(u64::from(spec.data_flits));
+        self.worms.push(Worm {
+            request,
+            spec,
+            dst: (self.terminal)(spec.destination.index()),
+            path: Vec::new(),
+            flits: Vec::new(),
+            next_inject: 0,
+            total: spec.data_flits + 2,
+            arrived_at: None,
+            done_at: None,
+            released_up_to: 0,
+        });
+        request
+    }
+
+    /// The current tick.
+    pub const fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Worms submitted but not yet fully delivered.
+    pub fn live_count(&self) -> usize {
+        self.worms.iter().filter(|w| w.done_at.is_none()).count()
+    }
+
+    /// `true` once a stall (no progress for a full stall window while
+    /// work was due) has been detected. Latches.
+    pub const fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Channels currently owned by some worm.
+    pub fn busy_channels(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Total channels in the graph.
+    pub fn channel_count(&self) -> usize {
+        self.graph.channel_count()
+    }
+
+    /// Peak simultaneous busy channels so far.
+    pub const fn peak_busy_channels(&self) -> usize {
+        self.peak_busy
+    }
+
+    /// All completions so far, in completion order. Use
+    /// [`delivered_since`](Self::delivered_since) for incremental polling.
+    pub fn delivered(&self) -> &[DeliveredMessage] {
+        &self.delivered
+    }
+
+    /// Completions from `cursor` onward; pass the previous `delivered().len()`.
+    pub fn delivered_since(&self, cursor: usize) -> &[DeliveredMessage] {
+        &self.delivered[cursor.min(self.delivered.len())..]
+    }
+
+    /// Ticks of no progress while work is due before declaring a stall.
+    fn stall_window(&self) -> u64 {
+        4 * self.graph.vertex_count() as u64 * self.max_wire + self.max_flits_seen + 64
+    }
+
+    /// Consumes the engine into a batch-style report.
+    pub fn into_report(self) -> WormholeReport {
+        WormholeReport {
+            delivered: self.delivered,
+            ticks: self.now,
+            stalled: self.stalled,
+            peak_busy_channels: self.peak_busy,
+        }
+    }
+
+    /// Advances the simulation by one tick: every worm gets a chance to
+    /// move its flits one buffer and inject one new flit, in an order
+    /// rotated by the tick number for fairness.
+    pub fn tick(&mut self) {
+        let order_start = (self.now as usize) % self.worms.len().max(1);
+        for off in 0..self.worms.len() {
+            let wi = (order_start + off) % self.worms.len();
+            if self.worms[wi].done_at.is_some() || self.worms[wi].spec.inject_at > self.now {
+                continue;
+            }
+            let progressed = self.step_worm(wi);
+            if progressed {
+                self.last_progress = self.now;
+            }
+            if self.worms[wi].done_at == Some(self.now) {
+                let w = &self.worms[wi];
+                self.delivered.push(DeliveredMessage {
+                    request: w.request,
+                    spec: w.spec,
+                    requested_at: w.spec.inject_at,
+                    circuit_at: w.arrived_at.unwrap_or(self.now),
+                    delivered_at: self.now,
+                    refusals: 0,
+                });
+            }
+        }
+
+        self.peak_busy = self.peak_busy.max(self.busy_channels());
+        self.now += 1;
+        let due = self
+            .worms
+            .iter()
+            .any(|w| w.done_at.is_none() && w.spec.inject_at <= self.now);
+        if due && self.now - self.last_progress > self.stall_window() {
+            self.stalled = true;
+        }
+        if !due {
+            self.last_progress = self.now;
+        }
+    }
+
+    /// One worm's turn: advance/consume its in-flight flits, then inject
+    /// the next flit at the source. Returns `true` if anything moved.
+    fn step_worm(&mut self, wi: usize) -> bool {
+        let now = self.now;
+        let mut progressed = false;
+
+        // 1. Advance or deliver existing flits, header first. A flit
+        //    moves into the next channel buffer when it is free.
+        let flit_count = self.worms[wi].flits.len();
+        let mut consumed_head = false;
+        for f in 0..flit_count {
+            let FlitSlot::InChannel { seq, idx, entered } = self.worms[wi].flits[f];
+            let dwelt =
+                now >= entered + u64::from(self.graph.channel(self.worms[wi].path[idx]).latency);
+            if !dwelt {
+                continue; // still travelling along the wire
+            }
+            let at_path_end = idx + 1 == self.worms[wi].path.len();
+            let header_arrived = self.worms[wi].arrived_at.is_some();
+            if f == 0 && !header_arrived && seq == 0 {
+                // Header: extend the path or arrive.
+                let here = self.worms[wi].header_vertex(&self.graph);
+                if here == self.worms[wi].dst {
+                    self.worms[wi].arrived_at = Some(now);
+                    self.busy_buffer[self.worms[wi].path[idx]] = false;
+                    consumed_head = true;
+                    progressed = true;
+                    continue;
+                }
+                let salt = wi as u64 * 7919 + now;
+                let cands = self
+                    .route
+                    .candidates(&self.graph, here, self.worms[wi].dst, salt);
+                debug_assert!(
+                    !cands.is_empty(),
+                    "routing function returned no candidates at vertex {here}"
+                );
+                if let Some(&c) = cands.iter().find(|&&c| {
+                    self.owner[c].is_none()
+                        && self.group_last.get(&self.graph.channel(c).group) != Some(&now)
+                }) {
+                    self.owner[c] = Some(wi);
+                    self.busy_buffer[self.worms[wi].path[idx]] = false;
+                    self.worms[wi].path.push(c);
+                    self.busy_buffer[c] = true;
+                    self.group_last.insert(self.graph.channel(c).group, now);
+                    self.worms[wi].flits[f] = FlitSlot::InChannel {
+                        seq,
+                        idx: idx + 1,
+                        entered: now,
+                    };
+                    progressed = true;
+                }
+                continue;
+            }
+            // Body / tail flit (or header already arrived for f == 0 —
+            // cannot happen because arrival consumes it).
+            if at_path_end {
+                if header_arrived {
+                    // Consume at the destination.
+                    self.busy_buffer[self.worms[wi].path[idx]] = false;
+                    self.worms[wi].flits[f] = FlitSlot::InChannel {
+                        seq,
+                        idx: usize::MAX, // mark consumed; filtered below
+                        entered: now,
+                    };
+                    if seq + 1 == self.worms[wi].total {
+                        self.worms[wi].done_at = Some(now);
+                    }
+                    progressed = true;
+                    // Tail passed the last channel: release it.
+                    if seq + 1 == self.worms[wi].total {
+                        let upto = self.worms[wi].released_up_to;
+                        for &c in &self.worms[wi].path[upto..] {
+                            self.owner[c] = None;
+                        }
+                        self.worms[wi].released_up_to = self.worms[wi].path.len();
+                    }
+                }
+                continue;
+            }
+            let next_channel = self.worms[wi].path[idx + 1];
+            if !self.busy_buffer[next_channel]
+                && self.group_last.get(&self.graph.channel(next_channel).group) != Some(&now)
+            {
+                self.busy_buffer[self.worms[wi].path[idx]] = false;
+                self.busy_buffer[next_channel] = true;
+                self.group_last
+                    .insert(self.graph.channel(next_channel).group, now);
+                self.worms[wi].flits[f] = FlitSlot::InChannel {
+                    seq,
+                    idx: idx + 1,
+                    entered: now,
+                };
+                progressed = true;
+                // If this is the tail flit, release the channel left.
+                if seq + 1 == self.worms[wi].total {
+                    self.owner[self.worms[wi].path[idx]] = None;
+                    self.worms[wi].released_up_to = idx + 1;
+                }
+            }
+        }
+        if consumed_head {
+            self.worms[wi].flits.remove(0);
+        }
+        self.worms[wi].flits.retain(|f| {
+            let FlitSlot::InChannel { idx, .. } = f;
+            *idx != usize::MAX
+        });
+
+        // 2. Inject the next flit at the source, one per tick.
+        let w = &self.worms[wi];
+        if w.next_inject < w.total {
+            if w.next_inject == 0 {
+                // Header injection: acquire the first channel.
+                let src = (self.terminal)(w.spec.source.index());
+                let salt = wi as u64 * 7919 + now;
+                let cands = self.route.candidates(&self.graph, src, w.dst, salt);
+                if let Some(&c) = cands.iter().find(|&&c| {
+                    self.owner[c].is_none()
+                        && self.group_last.get(&self.graph.channel(c).group) != Some(&now)
+                }) {
+                    self.owner[c] = Some(wi);
+                    self.busy_buffer[c] = true;
+                    self.group_last.insert(self.graph.channel(c).group, now);
+                    let w = &mut self.worms[wi];
+                    w.path.push(c);
+                    w.flits.push(FlitSlot::InChannel {
+                        seq: 0,
+                        idx: 0,
+                        entered: now,
+                    });
+                    w.next_inject = 1;
+                    progressed = true;
+                }
+            } else {
+                // Body/tail: enter channel 0 when its buffer is free.
+                let first = w.path[0];
+                let first_still_owned = self.owner[first] == Some(wi);
+                if first_still_owned
+                    && !self.busy_buffer[first]
+                    && self.group_last.get(&self.graph.channel(first).group) != Some(&now)
+                {
+                    self.busy_buffer[first] = true;
+                    self.group_last.insert(self.graph.channel(first).group, now);
+                    let seq = w.next_inject;
+                    let w = &mut self.worms[wi];
+                    w.flits.push(FlitSlot::InChannel {
+                        seq,
+                        idx: 0,
+                        entered: now,
+                    });
+                    w.next_inject += 1;
+                    progressed = true;
+                }
+            }
+        }
+
+        progressed
+    }
+}
+
 /// Runs a batch of messages through a graph under a routing function.
 ///
 /// `terminal` maps message node ids to graph vertices. Runs until all
@@ -94,239 +468,21 @@ pub fn run_wormhole(
     messages: &[MessageSpec],
     max_ticks: u64,
 ) -> WormholeReport {
-    let mut owner: Vec<Option<usize>> = vec![None; graph.channel_count()];
-    let mut busy_buffer: Vec<bool> = vec![false; graph.channel_count()];
-    // Physical-link multiplexing: one flit per group per tick. Maps a
-    // group id to the last tick a flit entered one of its channels.
-    let mut group_last: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
-    let mut worms: Vec<Worm> = messages
-        .iter()
-        .enumerate()
-        .map(|(i, m)| Worm {
-            request: RequestId::new(i as u64),
-            spec: *m,
-            dst: terminal(m.destination.index()),
-            path: Vec::new(),
-            flits: Vec::new(),
-            next_inject: 0,
-            total: m.data_flits + 2,
-            arrived_at: None,
-            done_at: None,
-            released_up_to: 0,
-        })
-        .collect();
-
-    let mut delivered = Vec::new();
-    let mut now: u64 = 0;
-    let mut last_progress: u64 = 0;
-    let mut peak_busy = 0usize;
-    let max_wire = (0..graph.channel_count())
-        .map(|c| u64::from(graph.channel(c).latency))
-        .max()
-        .unwrap_or(1);
-    let stall_window = 4 * graph.vertex_count() as u64 * max_wire
-        + messages.iter().map(|m| m.data_flits as u64).max().unwrap_or(0)
-        + 64;
-
-    let live = |w: &Worm| w.done_at.is_none();
-    while worms.iter().any(live) && now < max_ticks {
-        let order_start = (now as usize) % worms.len().max(1);
-        for off in 0..worms.len() {
-            let wi = (order_start + off) % worms.len();
-            if worms[wi].done_at.is_some() || worms[wi].spec.inject_at > now {
-                continue;
-            }
-            let mut progressed = false;
-
-            // 1. Advance or deliver existing flits, header first. A flit
-            //    moves into the next channel buffer when it is free.
-            let flit_count = worms[wi].flits.len();
-            let mut consumed_head = false;
-            for f in 0..flit_count {
-                let FlitSlot::InChannel { seq, idx, entered } = worms[wi].flits[f];
-                let dwelt = now >= entered + u64::from(graph.channel(worms[wi].path[idx]).latency);
-                if !dwelt {
-                    continue; // still travelling along the wire
-                }
-                let at_path_end = idx + 1 == worms[wi].path.len();
-                let header_arrived = worms[wi].arrived_at.is_some();
-                if f == 0 && !header_arrived && seq == 0 {
-                    // Header: extend the path or arrive.
-                    let here = worms[wi].header_vertex(graph);
-                    if here == worms[wi].dst {
-                        worms[wi].arrived_at = Some(now);
-                        busy_buffer[worms[wi].path[idx]] = false;
-                        consumed_head = true;
-                        progressed = true;
-                        continue;
-                    }
-                    let salt = wi as u64 * 7919 + now;
-                    let cands = route.candidates(graph, here, worms[wi].dst, salt);
-                    debug_assert!(
-                        !cands.is_empty(),
-                        "routing function returned no candidates at vertex {here}"
-                    );
-                    if let Some(&c) = cands.iter().find(|&&c| {
-                        owner[c].is_none() && group_last.get(&graph.channel(c).group) != Some(&now)
-                    }) {
-                        owner[c] = Some(wi);
-                        busy_buffer[worms[wi].path[idx]] = false;
-                        worms[wi].path.push(c);
-                        busy_buffer[c] = true;
-                        group_last.insert(graph.channel(c).group, now);
-                        worms[wi].flits[f] = FlitSlot::InChannel {
-                            seq,
-                            idx: idx + 1,
-                            entered: now,
-                        };
-                        progressed = true;
-                    }
-                    continue;
-                }
-                // Body / tail flit (or header already arrived for f == 0 —
-                // cannot happen because arrival consumes it).
-                if at_path_end {
-                    if header_arrived {
-                        // Consume at the destination.
-                        busy_buffer[worms[wi].path[idx]] = false;
-                        worms[wi].flits[f] = FlitSlot::InChannel {
-                            seq,
-                            idx: usize::MAX, // mark consumed; filtered below
-                            entered: now,
-                        };
-                        if seq + 1 == worms[wi].total {
-                            worms[wi].done_at = Some(now);
-                        }
-                        progressed = true;
-                        // Tail passed the last channel: release it.
-                        if seq + 1 == worms[wi].total {
-                            for &c in &worms[wi].path[worms[wi].released_up_to..] {
-                                owner[c] = None;
-                            }
-                            worms[wi].released_up_to = worms[wi].path.len();
-                        }
-                    }
-                    continue;
-                }
-                let next_channel = worms[wi].path[idx + 1];
-                if !busy_buffer[next_channel]
-                    && group_last.get(&graph.channel(next_channel).group) != Some(&now)
-                {
-                    busy_buffer[worms[wi].path[idx]] = false;
-                    busy_buffer[next_channel] = true;
-                    group_last.insert(graph.channel(next_channel).group, now);
-                    worms[wi].flits[f] = FlitSlot::InChannel {
-                        seq,
-                        idx: idx + 1,
-                        entered: now,
-                    };
-                    progressed = true;
-                    // If this is the tail flit, release the channel left.
-                    if seq + 1 == worms[wi].total {
-                        owner[worms[wi].path[idx]] = None;
-                        worms[wi].released_up_to = idx + 1;
-                    }
-                }
-            }
-            if consumed_head {
-                worms[wi].flits.remove(0);
-            }
-            worms[wi].flits.retain(|f| {
-                let FlitSlot::InChannel { idx, .. } = f;
-                *idx != usize::MAX
-            });
-
-            // 2. Inject the next flit at the source, one per tick.
-            let w = &worms[wi];
-            if w.next_inject < w.total {
-                if w.next_inject == 0 {
-                    // Header injection: acquire the first channel.
-                    let src = terminal(w.spec.source.index());
-                    let salt = wi as u64 * 7919 + now;
-                    let cands = route.candidates(graph, src, w.dst, salt);
-                    if let Some(&c) = cands.iter().find(|&&c| {
-                        owner[c].is_none() && group_last.get(&graph.channel(c).group) != Some(&now)
-                    }) {
-                        owner[c] = Some(wi);
-                        busy_buffer[c] = true;
-                        group_last.insert(graph.channel(c).group, now);
-                        let w = &mut worms[wi];
-                        w.path.push(c);
-                        w.flits.push(FlitSlot::InChannel {
-                            seq: 0,
-                            idx: 0,
-                            entered: now,
-                        });
-                        w.next_inject = 1;
-                        progressed = true;
-                    }
-                } else {
-                    // Body/tail: enter channel 0 when its buffer is free.
-                    let first = w.path[0];
-                    let header_done = w.arrived_at.is_some();
-                    let first_still_owned = owner[first] == Some(wi);
-                    if first_still_owned
-                        && !busy_buffer[first]
-                        && group_last.get(&graph.channel(first).group) != Some(&now)
-                    {
-                        busy_buffer[first] = true;
-                        group_last.insert(graph.channel(first).group, now);
-                        let seq = w.next_inject;
-                        let w = &mut worms[wi];
-                        w.flits.push(FlitSlot::InChannel {
-                            seq,
-                            idx: 0,
-                            entered: now,
-                        });
-                        w.next_inject += 1;
-                        progressed = true;
-                        let _ = header_done;
-                    }
-                }
-            }
-
-            if progressed {
-                last_progress = now;
-            }
-            // Degenerate single-hop case: header consumed and no data to
-            // come; completion handled in flit loop above.
-            if worms[wi].done_at == Some(now) {
-                let w = &worms[wi];
-                delivered.push(DeliveredMessage {
-                    request: w.request,
-                    spec: w.spec,
-                    requested_at: w.spec.inject_at,
-                    circuit_at: w.arrived_at.unwrap_or(now),
-                    delivered_at: now,
-                    refusals: 0,
-                });
-            }
-        }
-
-        peak_busy = peak_busy.max(owner.iter().filter(|o| o.is_some()).count());
-        now += 1;
-        let due = worms
-            .iter()
-            .any(|w| w.done_at.is_none() && w.spec.inject_at <= now);
-        if due && now - last_progress > stall_window {
-            return WormholeReport {
-                delivered,
-                ticks: now,
-                stalled: true,
-                peak_busy_channels: peak_busy,
-            };
-        }
-        if !due {
-            last_progress = now;
+    let mut engine = WormholeEngine::new(
+        graph.clone(),
+        |g: &Graph, at: Vertex, dst: Vertex, salt: u64| route.candidates(g, at, dst, salt),
+        terminal,
+    );
+    for &m in messages {
+        engine.submit(m);
+    }
+    while engine.live_count() > 0 && engine.now() < max_ticks {
+        engine.tick();
+        if engine.is_stalled() {
+            break;
         }
     }
-
-    WormholeReport {
-        delivered,
-        ticks: now,
-        stalled: false,
-        peak_busy_channels: peak_busy,
-    }
+    engine.into_report()
 }
 
 #[cfg(test)]
@@ -403,5 +559,69 @@ mod tests {
         assert_eq!(report.delivered.len(), 1);
         assert!(report.delivered[0].circuit_at >= 100);
         assert!(!report.stalled);
+    }
+
+    #[test]
+    fn incremental_submission_matches_batch() {
+        // Submitting everything up front through the engine and then
+        // ticking by hand must equal run_wormhole exactly.
+        let g = ring4();
+        let msgs = vec![
+            MessageSpec::new(NodeId::new(0), NodeId::new(2), 8),
+            MessageSpec::new(NodeId::new(3), NodeId::new(1), 5).at(7),
+            MessageSpec::new(NodeId::new(1), NodeId::new(3), 3).at(20),
+        ];
+        let batch = run_wormhole(&g, &ring_route, &|n| n as Vertex, &msgs, 10_000);
+
+        let mut eng = WormholeEngine::new(g.clone(), ring_route, |n| n as Vertex);
+        for &m in &msgs {
+            eng.submit(m);
+        }
+        while eng.live_count() > 0 && eng.now() < 10_000 {
+            eng.tick();
+        }
+        let inc = eng.into_report();
+        assert_eq!(inc.delivered, batch.delivered);
+        assert_eq!(inc.ticks, batch.ticks);
+        assert_eq!(inc.peak_busy_channels, batch.peak_busy_channels);
+    }
+
+    #[test]
+    fn streaming_polls_see_every_completion() {
+        let g = ring4();
+        let mut eng = WormholeEngine::new(g, ring_route, |n| n as Vertex);
+        let mut cursor = 0usize;
+        let mut seen = 0usize;
+        // Trickle 30 messages in while the engine runs.
+        for i in 0..30u64 {
+            eng.submit(
+                MessageSpec::new(NodeId::new((i % 4) as u32), NodeId::new(((i + 2) % 4) as u32), 4)
+                    .at(i * 9),
+            );
+        }
+        while eng.live_count() > 0 && eng.now() < 100_000 {
+            eng.tick();
+            seen += eng.delivered_since(cursor).len();
+            cursor = eng.delivered().len();
+        }
+        assert_eq!(seen, 30);
+        assert!(!eng.is_stalled());
+        assert!(eng.peak_busy_channels() >= 1);
+    }
+
+    #[test]
+    fn busy_channel_gauge_tracks_occupancy() {
+        let g = ring4();
+        let mut eng = WormholeEngine::new(g, ring_route, |n| n as Vertex);
+        assert_eq!(eng.busy_channels(), 0);
+        assert_eq!(eng.channel_count(), 4);
+        eng.submit(MessageSpec::new(NodeId::new(0), NodeId::new(2), 16));
+        eng.tick();
+        eng.tick();
+        assert!(eng.busy_channels() >= 1);
+        while eng.live_count() > 0 && eng.now() < 1_000 {
+            eng.tick();
+        }
+        assert_eq!(eng.busy_channels(), 0, "tail must release all channels");
     }
 }

@@ -1,26 +1,23 @@
 //! Runs the measured experiments of the reproduction.
 //!
 //! ```text
-//! experiments [--exp NAME] [--n N] [--k K] [--flits F] [--seed S] [--json]
+//! experiments [--exp NAME] [--n N] [--k K] [--flits F] [--seed S]
+//!             [--rate R] [--ticks T] [--json] [--list]
 //! ```
 //!
 //! `--json` emits one machine-readable JSON object per experiment instead
-//! of text tables (for plotting or regression tracking).
+//! of text tables (for plotting or regression tracking). `--list` prints
+//! the registered experiment names with descriptions and exits. `--rate`
+//! and `--ticks` override the offered rate / tick budget of the open-loop
+//! serving experiments.
 //!
-//! Experiment names: `lemma1`, `theorem1`, `permutation`, `competitiveness`,
-//! `ablation`, `load`, `deadlock`, or `all` (default). Sizes default to
-//! N = 64 (N = 16 for `permutation`, which needs a square power of two and
-//! simulates five networks), k = 8, 16-flit bodies, seed 1996.
+//! Experiments come from [`rmb_bench::registry::registry`]; `--exp all`
+//! (the default) runs the whole suite. Sizes default to N = 64 (clamped
+//! per experiment; `permutation` uses N = 16 under `all` because it needs
+//! a square power of two and simulates five networks), k = 8, 16-flit
+//! bodies, seed 1996.
 
-use rmb_bench::experiments::{
-    ablation_suite, ablation_table, competitiveness, competitiveness_table, deadlock_study,
-    fault_tolerance_experiment, fault_tolerance_table, grid_experiment, grid_table,
-    hier_scaling_experiment, hier_scaling_table, hotspot_experiment, hotspot_table,
-    lemma1_experiment, load_sweep, load_table,
-    multi_send_experiment, multi_send_table, multicast_experiment, multicast_table,
-    permutation_comparison, permutation_table, scaling_experiment, scaling_table,
-    theorem1_experiment, wire_delay_experiment, wire_delay_table,
-};
+use rmb_bench::registry::{registry, ExpContext};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -29,7 +26,19 @@ struct Options {
     k: u16,
     flits: u32,
     seed: u64,
+    ticks: Option<u64>,
+    rate: Option<f64>,
     json: bool,
+    list: bool,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+    format!(
+        "usage: experiments [--exp {}|all] [--n N] [--k K] [--flits F] \
+         [--seed S] [--rate R] [--ticks T] [--json] [--list]",
+        names.join("|")
+    )
 }
 
 fn parse() -> Options {
@@ -39,7 +48,10 @@ fn parse() -> Options {
         k: 8,
         flits: 16,
         seed: 1996,
+        ticks: None,
+        rate: None,
         json: false,
+        list: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -56,16 +68,13 @@ fn parse() -> Options {
             "--k" => opt.k = value("--k").parse().expect("numeric --k"),
             "--flits" => opt.flits = value("--flits").parse().expect("numeric --flits"),
             "--seed" => opt.seed = value("--seed").parse().expect("numeric --seed"),
+            "--ticks" => opt.ticks = Some(value("--ticks").parse().expect("numeric --ticks")),
+            "--rate" => opt.rate = Some(value("--rate").parse().expect("numeric --rate")),
             "--json" => opt.json = true,
+            "--list" => opt.list = true,
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!(
-                    "usage: experiments [--exp lemma1|theorem1|permutation|\
-                     competitiveness|ablation|load|deadlock|multicast|\
-                     wire-delay|grid|multi-send|hotspot|scaling|\
-                     fault-tolerance|hier-scaling|all] \
-                     [--n N] [--k K] [--flits F] [--seed S]"
-                );
+                eprintln!("{}", usage());
                 std::process::exit(2);
             }
         }
@@ -73,155 +82,53 @@ fn parse() -> Options {
     opt
 }
 
-fn emit<T: rmb_bench::rows::JsonReport>(json: bool, name: &str, rows: &T, table: impl std::fmt::Display) {
-    if json {
-        let body = rows.to_json();
-        println!("{{\"experiment\": \"{name}\", \"rows\": {body}}}");
-    } else {
-        println!("{table}");
-    }
-}
-
 fn main() {
     let opt = parse();
-    let all = opt.exp == "all";
+    let reg = registry();
 
-    if all || opt.exp == "lemma1" {
-        if !opt.json {
-            println!("Experiment L1 — Lemma 1 (cycle-transition skew bound):\n");
+    if opt.list {
+        for e in &reg {
+            println!("{:<18} {}", e.name(), e.description());
         }
-        let r = lemma1_experiment(opt.n.min(24), opt.seed);
-        emit(opt.json, "lemma1", &r, r.table());
-        if !opt.json {
-            println!("bound held: {}\n", r.bound_held);
-        }
+        return;
     }
-    if all || opt.exp == "theorem1" {
-        if !opt.json {
-            println!("Experiment TH1 — Theorem 1 (full utilisation / admission):\n");
-        }
-        let r = theorem1_experiment(opt.n.min(32), opt.k, 60, opt.seed);
-        emit(opt.json, "theorem1", &r, r.table());
+
+    let all = opt.exp == "all";
+    if !all && !reg.iter().any(|e| e.name() == opt.exp) {
+        eprintln!("unknown experiment '{}'", opt.exp);
+        eprintln!("{}", usage());
+        std::process::exit(2);
     }
-    if all || opt.exp == "permutation" {
-        let n = if all { 16 } else { opt.n };
-        if !opt.json {
-            println!("Experiment E2 — measured permutation routing (N = {n}, k = {}):\n", opt.k.min(8));
+
+    let cx = ExpContext {
+        n: opt.n,
+        k: opt.k,
+        flits: opt.flits,
+        seed: opt.seed,
+        all,
+        ticks: opt.ticks,
+        rate: opt.rate,
+    };
+
+    for e in &reg {
+        if !all && e.name() != opt.exp {
+            continue;
         }
-        let rows = permutation_comparison(n, opt.k.min(8), opt.flits, opt.seed);
-        emit(opt.json, "permutation", &rows, permutation_table(&rows));
-    }
-    if all || opt.exp == "competitiveness" {
-        if !opt.json {
-            println!(
-                "Experiment E1 — competitiveness vs offline schedule (N = {}, k = {}):\n",
-                opt.n.min(32),
-                opt.k
-            );
+        for out in e.run(&cx) {
+            if opt.json {
+                println!(
+                    "{{\"experiment\": \"{}\", \"rows\": {}}}",
+                    out.name, out.rows_json
+                );
+            } else {
+                if !out.heading.is_empty() {
+                    println!("{}\n", out.heading);
+                }
+                println!("{}", out.table);
+                if !out.footer.is_empty() {
+                    println!("{}\n", out.footer);
+                }
+            }
         }
-        let rows = competitiveness(opt.n.min(32), opt.k, opt.flits, opt.seed);
-        emit(opt.json, "competitiveness", &rows, competitiveness_table(&rows));
-    }
-    if all || opt.exp == "ablation" {
-        if !opt.json {
-            println!("Ablations (N = {}, k = {}):\n", opt.n.min(32), opt.k.min(4));
-        }
-        let rows = ablation_suite(opt.n.min(32), opt.k.min(4), opt.flits, opt.seed);
-        emit(opt.json, "ablation", &rows, ablation_table(&rows));
-    }
-    if all || opt.exp == "load" {
-        if !opt.json {
-            println!("Load sweep (N = {}, k = {}):\n", opt.n.min(32), opt.k);
-        }
-        let rates = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05];
-        let points = load_sweep(opt.n.min(32), opt.k, &rates, 4_000, opt.flits, opt.seed);
-        emit(opt.json, "load", &points, load_table(&points));
-    }
-    if all || opt.exp == "multicast" {
-        if !opt.json {
-            println!("Multicast extension (N = {}, k = {}):\n", opt.n.min(32), opt.k.min(4));
-        }
-        let rows = multicast_experiment(opt.n.min(32), opt.k.min(4), opt.flits);
-        emit(opt.json, "multicast", &rows, multicast_table(&rows));
-    }
-    if all || opt.exp == "wire-delay" {
-        let n = if opt.n.is_power_of_two() { opt.n.min(64) } else { 16 };
-        if !opt.json {
-            println!("Wire-length effects (N = {n}, k = {}):\n", opt.k.min(8));
-        }
-        let rows = wire_delay_experiment(n, opt.k.min(8), opt.flits, opt.seed);
-        emit(opt.json, "wire-delay", &rows, wire_delay_table(&rows));
-    }
-    if all || opt.exp == "grid" {
-        if !opt.json {
-            println!("2-D grid of rings vs one ring (36 nodes, equal wiring):\n");
-        }
-        let rows = grid_experiment(6, opt.k.min(4), opt.flits);
-        emit(opt.json, "grid", &rows, grid_table(&rows));
-    }
-    if all || opt.exp == "scaling" {
-        if !opt.json {
-            println!("Scaling sweep — ring vs dual ring vs grid of rings:\n");
-        }
-        let rows = scaling_experiment(&[4, 6, 8], opt.k.min(2), opt.flits.min(8));
-        emit(opt.json, "scaling", &rows, scaling_table(&rows));
-    }
-    if all || opt.exp == "hotspot" {
-        if !opt.json {
-            println!("Hot-spot traffic vs receive slots (N = {}):\n", opt.n.min(24));
-        }
-        let rows = hotspot_experiment(opt.n.min(24), opt.k.min(4), 0.004, 0.6, opt.seed);
-        emit(opt.json, "hotspot", &rows, hotspot_table(&rows));
-    }
-    if all || opt.exp == "multi-send" {
-        if !opt.json {
-            println!("Multiple sends per PE (hot source, N = {}):\n", opt.n.min(16));
-        }
-        let rows = multi_send_experiment(opt.n.min(16), opt.k.min(4), opt.flits);
-        emit(opt.json, "multi-send", &rows, multi_send_table(&rows));
-    }
-    if all || opt.exp == "fault-tolerance" {
-        let n = opt.n.min(32);
-        let k = opt.k.min(8);
-        if !opt.json {
-            println!("Fault tolerance — throughput under failing segments (N = {n}, k = {k}):\n");
-        }
-        let fractions = [0.0, 0.05, 0.1, 0.15, 0.2];
-        let mut sizes = vec![(n, k.min(4))];
-        if k > 4 {
-            sizes.push((n, k));
-        }
-        let rows = fault_tolerance_experiment(&sizes, &fractions, opt.flits, opt.seed);
-        emit(opt.json, "fault-tolerance", &rows, fault_tolerance_table(&rows));
-    }
-    if all || opt.exp == "hier-scaling" {
-        // Per-ring size from --n (capped), buses from --k; flat total is
-        // rings * n.
-        let n = opt.n.min(16);
-        let k = opt.k.min(4);
-        if !opt.json {
-            println!("Hierarchical scaling — bridged rings vs flat ring (n/ring = {n}, k = {k}):\n");
-        }
-        let shapes = [(2, n, k), (4, n, k)];
-        let localities = [0.0, 0.5, 0.8, 0.95];
-        let rows = hier_scaling_experiment(&shapes, &localities, opt.flits.min(8), opt.seed);
-        emit(opt.json, "hier-scaling", &rows, hier_scaling_table(&rows));
-    }
-    if all || opt.exp == "deadlock" {
-        if !opt.json {
-            println!("Deadlock study — saturated simultaneous injection (N = 16, k = 4):\n");
-        }
-        let r = deadlock_study(16, 4, 8, 0);
-        emit(opt.json, "deadlock-saturated", &r, r.table());
-        if !opt.json {
-            println!("Below saturation, simultaneous symmetric injection (N = 8, k = 8):\n");
-        }
-        let r = deadlock_study(8, 8, 4, 0);
-        emit(opt.json, "deadlock-symmetric", &r, r.table());
-        if !opt.json {
-            println!("Same workload, injections staggered by 16 ticks:\n");
-        }
-        let r = deadlock_study(8, 8, 4, 16);
-        emit(opt.json, "deadlock-staggered", &r, r.table());
     }
 }

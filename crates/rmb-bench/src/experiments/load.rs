@@ -3,7 +3,7 @@
 //! behind the paper's "full utilisation" narrative.
 
 use rmb_analysis::Table;
-use rmb_core::RmbNetwork;
+use rmb_core::{LogRetention, RmbNetwork};
 use rmb_types::RmbConfig;
 use rmb_workloads::{SizeDistribution, WorkloadConfig, WorkloadSuite};
 
@@ -49,14 +49,15 @@ pub fn load_sweep(
             .retry_backoff(u64::from(n))
             .build()
             .expect("valid");
-        let mut net = RmbNetwork::new(cfg);
+        // Message sizes are fixed, so the flit count follows from the
+        // delivered counter alone — counters-only retention keeps a long
+        // sweep's memory flat without changing any output value.
+        let mut net = RmbNetwork::builder(cfg)
+            .log_retention(LogRetention::CountersOnly)
+            .build();
         net.submit_all(msgs.iter().copied()).expect("valid workload");
         let report = net.run_to_quiescence(window * 40 + 100_000);
-        let delivered_flits: u64 = net
-            .delivered_log()
-            .iter()
-            .map(|d| u64::from(d.spec.data_flits) + 2)
-            .sum();
+        let delivered_flits = report.delivered as u64 * (u64::from(flits) + 2);
         LoadPoint {
             offered: rate,
             messages: msgs.len(),

@@ -13,6 +13,7 @@ mod fault_tolerance;
 mod hier_scaling;
 mod lemma1;
 mod load;
+mod open_loop;
 mod permutation;
 mod scaling;
 mod theorem1;
@@ -32,6 +33,9 @@ pub use fault_tolerance::{
 pub use hier_scaling::{hier_scaling_experiment, hier_scaling_table, HierScalingRow};
 pub use lemma1::{lemma1_experiment, Lemma1Result};
 pub use load::{load_sweep, load_table, LoadPoint};
+pub use open_loop::{
+    open_loop_experiment, open_loop_soak, open_loop_table, soak_table, OpenLoopRow, SoakRow,
+};
 pub use permutation::{permutation_comparison, permutation_table, PermutationRow};
 pub use scaling::{scaling_experiment, scaling_table, ScalingRow};
 pub use theorem1::{theorem1_experiment, Theorem1Result};

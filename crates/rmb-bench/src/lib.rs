@@ -10,5 +10,6 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod registry;
 pub mod rows;
 pub mod tables;

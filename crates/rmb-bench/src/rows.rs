@@ -56,6 +56,15 @@ impl JsonScalar for &str {
     }
 }
 
+impl<T: JsonScalar> JsonScalar for Option<T> {
+    fn json_scalar(&self) -> String {
+        match self {
+            Some(v) => v.json_scalar(),
+            None => "null".to_string(),
+        }
+    }
+}
+
 /// An experiment result that serializes itself to JSON.
 pub trait JsonReport {
     /// JSON encoding (an object for a row, an array for a row set).
@@ -109,8 +118,8 @@ macro_rules! json_report {
 
 use crate::experiments::{
     AblationResult, CompetitivenessRow, DeadlockResult, FaultToleranceRow, GridRow,
-    HierScalingRow, HotspotRow, Lemma1Result, LoadPoint, MultiSendRow, MulticastRow,
-    PermutationRow, ScalingRow, Theorem1Result, WireDelayRow,
+    HierScalingRow, HotspotRow, Lemma1Result, LoadPoint, MultiSendRow, MulticastRow, OpenLoopRow,
+    PermutationRow, ScalingRow, SoakRow, Theorem1Result, WireDelayRow,
 };
 
 json_report!(AblationResult { variant, makespan, mean_latency, refusals, stalled });
@@ -161,6 +170,39 @@ json_report!(HierScalingRow {
     throughput,
     mean_latency,
     stalled,
+});
+json_report!(OpenLoopRow {
+    topology,
+    arrivals,
+    rate,
+    offered,
+    shed,
+    shed_rate,
+    delivered,
+    aborted,
+    in_flight,
+    throughput,
+    mean_latency,
+    p50,
+    p99,
+    p999,
+    utilization,
+    ticks,
+});
+json_report!(SoakRow {
+    topology,
+    rate,
+    ticks,
+    offered,
+    shed,
+    delivered,
+    aborted,
+    in_flight,
+    p50,
+    p99,
+    p999,
+    loss_accounted,
+    retained_records,
 });
 json_report!(FaultToleranceRow {
     n,
@@ -223,6 +265,12 @@ mod tests {
         let s = p.to_json();
         assert!(rmb_types::json::Value::parse(&s).is_ok());
         assert!(s.contains("\"mean_latency\": null"));
+    }
+
+    #[test]
+    fn option_scalars_emit_value_or_null() {
+        assert_eq!(Some(41u64).json_scalar(), "41");
+        assert_eq!(None::<u64>.json_scalar(), "null");
     }
 
     #[test]

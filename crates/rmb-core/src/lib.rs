@@ -66,7 +66,7 @@ pub use cycle::{CycleController, CycleFlags, CycleRing, CycleStep, SwitchState};
 pub use inc::{derive_inc, IncView};
 pub use invariants::InvariantViolation;
 pub use network::{CompactionMode, RmbNetwork, RunReport};
-pub use options::{FeasibilityMode, RmbNetworkBuilder, SchedulerMode, SimOptions};
+pub use options::{FeasibilityMode, LogRetention, RmbNetworkBuilder, SchedulerMode, SimOptions};
 pub use render::{bus_letter, render_inc_status, render_occupancy, render_virtual_buses};
 pub use status::{PortStatus, SourceDir};
 pub use virtual_bus::{BusState, StreamState, VirtualBus};

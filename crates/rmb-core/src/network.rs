@@ -54,11 +54,13 @@ use crate::compaction::{assessed_in_phase, EndpointHeight, HopContext, Phase};
 use crate::cycle::CycleRing;
 use crate::invariants::{check_network, InvariantViolation};
 use crate::occupancy::Occupancy;
-use crate::options::{FeasibilityMode, RmbNetworkBuilder, SchedulerMode, SimOptions};
+use crate::options::{
+    FeasibilityMode, LogRetention, RmbNetworkBuilder, SchedulerMode, SimOptions,
+};
 use crate::virtual_bus::{BusState, StreamState, VirtualBus};
 use rmb_sim::stats::OnlineStats;
 use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
-use rmb_sim::{SimRng, Tick, TimingWheel};
+use rmb_sim::{QuantileSketch, SimRng, Tick, TimingWheel};
 use rmb_types::{
     AbortedMessage, AckMode, BusIndex, DeliveredMessage, FaultKind, InsertionPolicy, MessageSpec,
     NodeId, ProtocolError, RequestId, RingSize, RmbConfig, VirtualBusId,
@@ -394,6 +396,10 @@ pub struct RunReport {
     recovery_sum: u64,
     /// Worst time-to-recover over recovered requests.
     max_recovery: u64,
+    /// `(p50, p99, p999, max)` latency estimates from the online sketch,
+    /// present only when the run was built with
+    /// [`latency_sketch(true)`](crate::RmbNetworkBuilder::latency_sketch).
+    latency_quantiles: Option<(u64, u64, u64, u64)>,
 }
 
 impl RunReport {
@@ -436,6 +442,47 @@ impl RunReport {
     /// requests (0 when none recovered).
     pub const fn max_time_to_recover(&self) -> u64 {
         self.max_recovery
+    }
+}
+
+impl rmb_types::StatsReport for RunReport {
+    fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered as u64
+    }
+
+    fn aborted_count(&self) -> u64 {
+        self.aborted as u64
+    }
+
+    fn refusal_count(&self) -> u64 {
+        self.refusals
+    }
+
+    fn mean_utilization(&self) -> Option<f64> {
+        Some(self.mean_utilization)
+    }
+
+    fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    fn latency(&self) -> rmb_types::LatencySummary {
+        let (p50, p99, p999, max) = match self.latency_quantiles {
+            Some((a, b, c, d)) => (Some(a), Some(b), Some(c), Some(d)),
+            None => (None, None, None, None),
+        };
+        rmb_types::LatencySummary {
+            count: self.delivered as u64,
+            mean: self.mean_latency(),
+            p50,
+            p99,
+            p999,
+            max,
+        }
     }
 }
 
@@ -510,6 +557,14 @@ pub struct RmbNetwork {
     /// Terminal failures, in abort order (mirrors `delivered` for the
     /// failure path; read through [`RmbNetwork::aborted_log`]).
     aborted_log: Vec<AbortedMessage>,
+    /// Records dropped from the front of `delivered` under windowed /
+    /// counters-only retention: absolute sequence number of
+    /// `delivered[0]`. Zero under full retention.
+    delivered_base: u64,
+    /// Abort-side counterpart of `delivered_base`.
+    aborted_base: u64,
+    /// Online latency percentiles, when `opts.latency_sketch` is on.
+    latency_sketch: Option<QuantileSketch>,
     refusals: u64,
     compaction_moves: u64,
     retries: u64,
@@ -581,6 +636,7 @@ impl RmbNetwork {
         let recording = opts.recording;
         let event_driven = opts.scheduler == SchedulerMode::EventDriven;
         let feas_bitmap = opts.feasibility == FeasibilityMode::Bitmap;
+        let sketch = opts.latency_sketch.then(QuantileSketch::latency_defaults);
         let mut net = RmbNetwork {
             cfg,
             now: Tick::ZERO,
@@ -610,6 +666,9 @@ impl RmbNetwork {
             first_kill: HashMap::new(),
             delivered: Vec::new(),
             aborted_log: Vec::new(),
+            delivered_base: 0,
+            aborted_base: 0,
+            latency_sketch: sketch,
             refusals: 0,
             compaction_moves: 0,
             retries: 0,
@@ -1089,15 +1148,21 @@ impl RmbNetwork {
         self.report_with(false)
     }
 
-    /// The messages delivered so far, in completion order, without
-    /// cloning (grows monotonically as the simulation advances).
+    /// The *retained* delivered messages, in completion order, without
+    /// cloning. Under the default [`LogRetention::Full`] policy this is
+    /// every delivery; under `Window`/`CountersOnly` it is the retained
+    /// suffix (possibly empty). [`delivered_total`](Self::delivered_total)
+    /// always counts every delivery regardless of retention.
+    ///
+    /// [`LogRetention::Full`]: crate::LogRetention::Full
     pub fn delivered_log(&self) -> &[DeliveredMessage] {
         &self.delivered
     }
 
-    /// The messages aborted so far (retry budget exhausted, or refused at
-    /// a fault-blocked source past the budget), in abort order. Grows
-    /// monotonically, like [`delivered_log`](Self::delivered_log).
+    /// The *retained* aborted messages (retry budget exhausted, or
+    /// refused at a fault-blocked source past the budget), in abort
+    /// order; the failure-path mirror of
+    /// [`delivered_log`](Self::delivered_log) under the same retention.
     ///
     /// One record is kept per request — a multicast abort still counts
     /// each covered destination in [`RunReport::aborted`], but appears
@@ -1106,21 +1171,71 @@ impl RmbNetwork {
         &self.aborted_log
     }
 
+    /// Total messages delivered over the lifetime of the network,
+    /// independent of log retention. Also the cursor value that makes
+    /// [`delivered_since`](Self::delivered_since) return only future
+    /// deliveries.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_base + self.delivered.len() as u64
+    }
+
+    /// Total abort *records* over the lifetime of the network (one per
+    /// aborted request), independent of log retention; the cursor
+    /// counterpart of [`delivered_total`](Self::delivered_total) for
+    /// [`aborted_since`](Self::aborted_since). Note that
+    /// [`RunReport::aborted`] counts per covered destination and can be
+    /// larger under multicast.
+    pub fn aborted_records(&self) -> u64 {
+        self.aborted_base + self.aborted_log.len() as u64
+    }
+
     /// Delivery hook for compositions driving this ring externally (the
-    /// `rmb-hier` bridges): the deliveries recorded since a cursor
-    /// previously obtained as `delivered_log().len()`. Out-of-range
-    /// cursors yield an empty slice.
+    /// `rmb-hier` bridges, the open-loop serving driver): the deliveries
+    /// recorded since a cursor previously obtained from
+    /// [`delivered_total`](Self::delivered_total). Cursors are absolute
+    /// sequence numbers, so they stay valid across retention trims as
+    /// long as the poller keeps up; cursors beyond the total yield an
+    /// empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor points below the retention window — the
+    /// poller fell behind and records it never saw have been dropped.
+    /// Polling at least once per `n` deliveries under
+    /// `LogRetention::Window(n)` guarantees this cannot happen; under
+    /// `CountersOnly` any cursor below the current total panics.
     pub fn delivered_since(&self, cursor: usize) -> &[DeliveredMessage] {
-        &self.delivered[cursor.min(self.delivered.len())..]
+        let base = self.delivered_base as usize;
+        assert!(
+            cursor >= base,
+            "delivered_since cursor {cursor} points below the retention window \
+             (first retained record is #{base}): records were dropped unread"
+        );
+        &self.delivered[(cursor - base).min(self.delivered.len())..]
     }
 
-    /// Abort-side counterpart of [`delivered_since`](Self::delivered_since).
+    /// Abort-side counterpart of [`delivered_since`](Self::delivered_since),
+    /// with cursors from [`aborted_records`](Self::aborted_records).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor points below the retention window, like
+    /// [`delivered_since`](Self::delivered_since).
     pub fn aborted_since(&self, cursor: usize) -> &[AbortedMessage] {
-        &self.aborted_log[cursor.min(self.aborted_log.len())..]
+        let base = self.aborted_base as usize;
+        assert!(
+            cursor >= base,
+            "aborted_since cursor {cursor} points below the retention window \
+             (first retained record is #{base}): records were dropped unread"
+        );
+        &self.aborted_log[(cursor - base).min(self.aborted_log.len())..]
     }
 
-    /// Histogram of end-to-end latencies of the messages delivered so
-    /// far, with the given bin width (64 bins plus overflow).
+    /// Histogram of end-to-end latencies of the *retained* delivered
+    /// messages, with the given bin width (64 bins plus overflow). Under
+    /// non-full retention prefer the online sketch
+    /// ([`latency_quantile`](Self::latency_quantile)), which sees every
+    /// delivery.
     pub fn latency_histogram(&self, bin_width: u64) -> rmb_sim::stats::Histogram {
         let mut h = rmb_sim::stats::Histogram::new(bin_width.max(1), 64);
         for d in &self.delivered {
@@ -1129,15 +1244,25 @@ impl RmbNetwork {
         h
     }
 
+    /// Online latency percentile from the delivery-time CKMS sketch, or
+    /// `None` when the sketch is disabled (see
+    /// [`RmbNetworkBuilder::latency_sketch`]) or nothing was delivered.
+    /// The sketch observes every delivery regardless of log retention.
+    ///
+    /// [`RmbNetworkBuilder::latency_sketch`]: crate::RmbNetworkBuilder::latency_sketch
+    pub fn latency_quantile(&self, phi: f64) -> Option<u64> {
+        self.latency_sketch.as_ref().and_then(|s| s.quantile(phi))
+    }
+
     fn report_with(&self, stalled: bool) -> RunReport {
         RunReport {
             ticks: self.now.get(),
-            delivered: self.delivered.len(),
+            delivered: self.delivered_total() as usize,
             refusals: self.refusals,
             compaction_moves: self.compaction_moves,
             mean_utilization: self.utilization.mean(),
             peak_virtual_buses: self.peak_virtual_buses,
-            undelivered: self.submitted as usize - self.delivered.len(),
+            undelivered: (self.submitted - self.delivered_total()) as usize,
             stalled,
             retries: self.retries,
             aborted: self.aborted,
@@ -1148,6 +1273,14 @@ impl RmbNetwork {
             recovered: self.recovered,
             recovery_sum: self.recovery_sum,
             max_recovery: self.max_recovery,
+            latency_quantiles: self.latency_sketch.as_ref().and_then(|s| {
+                Some((
+                    s.quantile(0.5)?,
+                    s.quantile(0.99)?,
+                    s.quantile(0.999)?,
+                    s.max()?,
+                ))
+            }),
         }
     }
 
@@ -1160,12 +1293,50 @@ impl RmbNetwork {
         check_network(self)
     }
 
-    /// Appends to the delivered log, maintaining the report aggregates.
+    /// Appends to the delivered log under the configured retention
+    /// policy, maintaining the report aggregates (which see every
+    /// delivery even when the record itself is not kept).
     fn record_delivery(&mut self, d: DeliveredMessage) {
         self.latency_sum += d.latency();
         self.setup_sum += d.setup_latency();
         self.last_delivery_at = self.last_delivery_at.max(d.delivered_at);
-        self.delivered.push(d);
+        if let Some(sketch) = &mut self.latency_sketch {
+            sketch.record(d.latency());
+        }
+        match self.opts.log_retention {
+            LogRetention::CountersOnly => self.delivered_base += 1,
+            LogRetention::Full => self.delivered.push(d),
+            LogRetention::Window(w) => {
+                self.delivered.push(d);
+                Self::trim_window(&mut self.delivered, &mut self.delivered_base, w);
+            }
+        }
+    }
+
+    /// Appends to the aborted log under the configured retention policy
+    /// (the caller maintains the `aborted` destination counter).
+    fn record_abort(&mut self, a: AbortedMessage) {
+        match self.opts.log_retention {
+            LogRetention::CountersOnly => self.aborted_base += 1,
+            LogRetention::Full => self.aborted_log.push(a),
+            LogRetention::Window(w) => {
+                self.aborted_log.push(a);
+                Self::trim_window(&mut self.aborted_log, &mut self.aborted_base, w);
+            }
+        }
+    }
+
+    /// Batch-trims a windowed log to its retention bound: amortised O(1)
+    /// per record by letting the log grow to `2w` before draining back
+    /// to `w`, so borrowed `*_since` slices stay cheap and memory stays
+    /// bounded.
+    fn trim_window<T>(log: &mut Vec<T>, base: &mut u64, w: usize) {
+        let w = w.max(1);
+        if log.len() > 2 * w {
+            let drop = log.len() - w;
+            log.drain(..drop);
+            *base += drop as u64;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1373,7 +1544,7 @@ impl RmbNetwork {
         self.last_progress = now;
         if self.opts.max_retries.is_some_and(|limit| p.refusals > limit) {
             self.aborted += 1 + p.taps.len();
-            self.aborted_log.push(AbortedMessage {
+            self.record_abort(AbortedMessage {
                 request: p.request,
                 spec: p.spec,
                 aborted_at: now,
@@ -1789,7 +1960,7 @@ impl RmbNetwork {
                         // Retry budget exhausted: drop the request for
                         // good, counting every destination it covered.
                         self.aborted += 1 + bus.taps.len();
-                        self.aborted_log.push(AbortedMessage {
+                        self.record_abort(AbortedMessage {
                             request: bus.request,
                             spec: bus.spec,
                             aborted_at: now,

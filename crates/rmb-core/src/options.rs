@@ -62,6 +62,41 @@ pub enum FeasibilityMode {
     SlabWalk,
 }
 
+/// How long the per-message delivered/aborted logs are retained.
+///
+/// Closed-loop experiments read every record after the run, so they keep
+/// [`Full`](LogRetention::Full) logs (the default, and the pre-0.3
+/// behaviour). Open-loop serving runs for millions-to-billions of ticks
+/// and must hold memory flat: a polling driver keeps a bounded
+/// [`Window`](LogRetention::Window), and a pure counter soak keeps
+/// [`CountersOnly`](LogRetention::CountersOnly).
+///
+/// Dropping a record never loses its *statistics* — every aggregate in
+/// [`RunReport`] (delivered/aborted counts, latency sums, makespan) is
+/// maintained at recording time — and it never loses it *silently*:
+/// cursors passed to [`RmbNetwork::delivered_since`] /
+/// [`RmbNetwork::aborted_since`] are absolute sequence numbers, and a
+/// cursor pointing below the retention window panics instead of
+/// returning a truncated slice.
+///
+/// [`RunReport`]: crate::RunReport
+/// [`RmbNetwork::delivered_since`]: crate::RmbNetwork::delivered_since
+/// [`RmbNetwork::aborted_since`]: crate::RmbNetwork::aborted_since
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogRetention {
+    /// Keep every record for the lifetime of the network. The default.
+    #[default]
+    Full,
+    /// Keep at least the most recent `n` records per log (the
+    /// implementation trims in batches, so up to `2n` may be resident).
+    /// Pollers that drain at least every `n` records see everything.
+    Window(usize),
+    /// Keep no records at all; only the aggregate counters advance.
+    /// `delivered_log()` / `aborted_log()` stay empty and any
+    /// `*_since` cursor below the current total panics.
+    CountersOnly,
+}
+
 /// Runtime options of a simulation, distinct from the physical
 /// configuration in [`RmbConfig`]: everything here changes how the run is
 /// *driven* (compaction engine, fault schedule, instrumentation), not what
@@ -99,6 +134,16 @@ pub struct SimOptions {
     /// How availability / path-feasibility queries are answered. Bitmap
     /// by default; the slab walk is the equivalence oracle.
     pub feasibility: FeasibilityMode,
+    /// How long the delivered/aborted logs are retained. Full by
+    /// default; windowed or counters-only for bounded-memory serving.
+    pub log_retention: LogRetention,
+    /// Maintain an online CKMS latency sketch (p50/p99/p999) at delivery
+    /// time, readable through [`RmbNetwork::latency_quantile`]. Off by
+    /// default; the open-loop soak harness turns it on so percentiles
+    /// survive counters-only retention.
+    ///
+    /// [`RmbNetwork::latency_quantile`]: crate::RmbNetwork::latency_quantile
+    pub latency_sketch: bool,
 }
 
 impl Default for SimOptions {
@@ -113,6 +158,8 @@ impl Default for SimOptions {
             max_retries: None,
             scheduler: SchedulerMode::EventDriven,
             feasibility: FeasibilityMode::Bitmap,
+            log_retention: LogRetention::Full,
+            latency_sketch: false,
         }
     }
 }
@@ -204,6 +251,23 @@ impl RmbNetworkBuilder {
         self
     }
 
+    /// Selects how long the delivered/aborted logs are retained (full,
+    /// windowed, or counters-only). See [`LogRetention`].
+    #[must_use]
+    pub fn log_retention(mut self, policy: LogRetention) -> Self {
+        self.opts.log_retention = policy;
+        self
+    }
+
+    /// Maintains an online p50/p99/p999 latency sketch at delivery time
+    /// (readable via [`RmbNetwork::latency_quantile`]), independent of
+    /// log retention.
+    #[must_use]
+    pub fn latency_sketch(mut self, on: bool) -> Self {
+        self.opts.latency_sketch = on;
+        self
+    }
+
     /// The options accumulated so far.
     pub fn options(&self) -> &SimOptions {
         &self.opts
@@ -238,6 +302,8 @@ mod tests {
         assert_eq!(opts.max_retries, None);
         assert_eq!(opts.scheduler, SchedulerMode::EventDriven);
         assert_eq!(opts.feasibility, FeasibilityMode::Bitmap);
+        assert_eq!(opts.log_retention, LogRetention::Full);
+        assert!(!opts.latency_sketch);
     }
 
     #[test]
@@ -252,10 +318,14 @@ mod tests {
             .fault_seed(7)
             .max_retries(3)
             .scheduler(SchedulerMode::DenseSweep)
-            .feasibility(FeasibilityMode::SlabWalk);
+            .feasibility(FeasibilityMode::SlabWalk)
+            .log_retention(LogRetention::Window(64))
+            .latency_sketch(true);
         let o = b.options();
         assert_eq!(o.scheduler, SchedulerMode::DenseSweep);
         assert_eq!(o.feasibility, FeasibilityMode::SlabWalk);
+        assert_eq!(o.log_retention, LogRetention::Window(64));
+        assert!(o.latency_sketch);
         assert!(!o.fast_forward);
         assert!(o.checked);
         assert!(o.recording);

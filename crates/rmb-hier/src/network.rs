@@ -111,6 +111,32 @@ impl HierReport {
     }
 }
 
+impl rmb_types::StatsReport for HierReport {
+    fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered as u64
+    }
+
+    fn aborted_count(&self) -> u64 {
+        self.aborted as u64
+    }
+
+    fn refusal_count(&self) -> u64 {
+        self.bridge_refusals + self.leg_refusals
+    }
+
+    fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    fn latency(&self) -> rmb_types::LatencySummary {
+        rmb_types::LatencySummary::mean_only(self.delivered as u64, self.mean_latency())
+    }
+}
+
 /// Where a message currently is; see the module docs for the transition
 /// diagram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -583,7 +609,11 @@ impl HierNetwork {
             } else {
                 &self.global
             };
-            let (dlen, alen) = (net.delivered_log().len(), net.aborted_log().len());
+            // Cursors are absolute sequence numbers (`delivered_total` /
+            // `aborted_records`), so they remain valid under windowed log
+            // retention inside the rings; `*_since` panics rather than
+            // skip if this per-tick harvest ever falls behind a window.
+            let (dlen, alen) = (net.delivered_total() as usize, net.aborted_records() as usize);
             if dlen > self.dcur[c as usize] {
                 let new: Vec<DeliveredMessage> = net.delivered_since(self.dcur[c as usize]).to_vec();
                 self.dcur[c as usize] = dlen;

@@ -17,6 +17,9 @@
 //!   range queries, the substrate of the bit-parallel occupancy kernel.
 //! * [`SimRng`] — seeded, stream-splittable randomness so that every
 //!   experiment is reproducible from a single seed.
+//! * [`QuantileSketch`] — a CKMS targeted-quantiles summary for online
+//!   p50/p99/p999 tracking without per-sample retention, used by the
+//!   open-loop serving driver.
 //! * [`stats`] — counters, online moments, histograms and time series used
 //!   by every report in EXPERIMENTS.md.
 //! * [`trace`] — structured event tracing used to regenerate the paper's
@@ -43,6 +46,7 @@ mod clock;
 pub mod par;
 mod queue;
 mod rng;
+mod sketch;
 mod slab;
 pub mod stats;
 pub mod trace;
@@ -53,5 +57,6 @@ pub use clock::Tick;
 pub use par::{par_map, par_map_with};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use sketch::QuantileSketch;
 pub use slab::IdSlab;
 pub use wheel::TimingWheel;

@@ -2,6 +2,11 @@
 //! utilisation time series.
 //!
 //! Every number reported in EXPERIMENTS.md flows through these types.
+//! The streaming [`QuantileSketch`] (re-exported here next to
+//! [`Histogram`]) lives in its own module; it is the bounded-memory
+//! percentile tracker behind the open-loop serving reports.
+
+pub use crate::sketch::QuantileSketch;
 
 use std::fmt;
 

@@ -32,6 +32,7 @@ mod hier;
 mod ids;
 pub mod json;
 mod message;
+pub mod report;
 
 pub use config::{AckMode, InsertionPolicy, NodeConfig, RmbConfig, RmbConfigBuilder};
 pub use error::{ConfigError, ProtocolError};
@@ -40,3 +41,4 @@ pub use flit::{Ack, AckKind, Flit, FlitKind, FlitPayload};
 pub use hier::{HierConfig, HierConfigBuilder, HierConfigError, HierLeg, HierMessageSpec, NodeAddr};
 pub use ids::{BusIndex, NodeId, RequestId, RingSize, VirtualBusId};
 pub use message::{AbortedMessage, DeliveredMessage, MessageSpec, MessageStatus};
+pub use report::{LatencySummary, StatsReport};

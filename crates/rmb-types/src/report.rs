@@ -1,0 +1,282 @@
+//! A unified reporting surface for every simulator in the workspace.
+//!
+//! Closed-loop batch runs (`rmb-core`'s `RunReport`), hierarchical sweeps
+//! (`rmb-hier`'s `HierReport`) and open-loop serving runs (`rmb-serve`'s
+//! `ServeReport`) all answer the same questions — how long did it run, what
+//! was delivered, what was refused or shed, how loaded were the buses, how
+//! long did messages take — but historically each answered them through its
+//! own struct with its own field names. [`StatsReport`] is the common
+//! denominator: experiment emitters consume `&dyn StatsReport` and produce
+//! schema-compatible JSON rows regardless of which engine ran.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmb_types::report::{LatencySummary, StatsReport};
+//!
+//! struct Toy;
+//! impl StatsReport for Toy {
+//!     fn ticks(&self) -> u64 { 100 }
+//!     fn delivered_count(&self) -> u64 { 7 }
+//!     fn aborted_count(&self) -> u64 { 1 }
+//!     fn refusal_count(&self) -> u64 { 3 }
+//!     fn is_stalled(&self) -> bool { false }
+//!     fn latency(&self) -> LatencySummary {
+//!         LatencySummary { count: 7, mean: 12.5, ..LatencySummary::default() }
+//!     }
+//! }
+//! let json = Toy.to_json_object();
+//! assert!(json.starts_with("{\"ticks\":100,"));
+//! assert!(json.contains("\"delivered\":7"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Latency digest shared by every report type.
+///
+/// Engines that retain full delivery logs compute these exactly; engines
+/// running with counters-only retention feed a streaming quantile sketch
+/// and report rank-error-bounded estimates. Absent percentiles (sketch
+/// disabled, or nothing delivered) are `None` and serialize as `null`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of latency samples (delivered messages).
+    pub count: u64,
+    /// Mean end-to-end latency in ticks (0 when `count` is 0).
+    pub mean: f64,
+    /// Median latency estimate.
+    pub p50: Option<u64>,
+    /// 99th-percentile latency estimate.
+    pub p99: Option<u64>,
+    /// 99.9th-percentile latency estimate.
+    pub p999: Option<u64>,
+    /// Largest observed latency.
+    pub max: Option<u64>,
+}
+
+impl LatencySummary {
+    /// A summary with just a count and mean (no percentile tracking).
+    pub fn mean_only(count: u64, mean: f64) -> Self {
+        LatencySummary {
+            count,
+            mean,
+            ..LatencySummary::default()
+        }
+    }
+}
+
+/// The statistics every simulator run can report, regardless of engine.
+///
+/// The provided [`StatsReport::to_json_object`] emits the canonical
+/// cross-engine schema used by experiment rows; implementors normally
+/// override only the accessor methods. Counters are totals over the run —
+/// none of them depend on the engine's log-retention policy.
+pub trait StatsReport {
+    /// Ticks simulated.
+    fn ticks(&self) -> u64;
+
+    /// Messages delivered in full.
+    fn delivered_count(&self) -> u64;
+
+    /// Messages given up on after exhausting their retry budget.
+    fn aborted_count(&self) -> u64;
+
+    /// Offered arrivals refused admission by the driver (never entered the
+    /// network). Only open-loop drivers shed; batch engines report 0.
+    fn shed_count(&self) -> u64 {
+        0
+    }
+
+    /// Connection refusals (`Nack`s, bridge refusals, leg refusals) issued
+    /// inside the network.
+    fn refusal_count(&self) -> u64;
+
+    /// Mean fraction of busy physical segments over the run, when the
+    /// engine tracks it.
+    fn mean_utilization(&self) -> Option<f64> {
+        None
+    }
+
+    /// `true` if the run ended without progress while work remained.
+    fn is_stalled(&self) -> bool;
+
+    /// Latency digest over delivered messages.
+    fn latency(&self) -> LatencySummary;
+
+    /// The canonical cross-engine JSON object (fixed key order, no
+    /// whitespace) consumed by experiment emitters.
+    fn to_json_object(&self) -> String {
+        let lat = self.latency();
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"ticks\":{},\"delivered\":{},\"aborted\":{},\"shed\":{},\"refusals\":{},",
+            self.ticks(),
+            self.delivered_count(),
+            self.aborted_count(),
+            self.shed_count(),
+            self.refusal_count(),
+        );
+        match self.mean_utilization() {
+            Some(u) if u.is_finite() => {
+                let _ = write!(out, "\"utilization\":{u:.6},");
+            }
+            _ => out.push_str("\"utilization\":null,"),
+        }
+        let _ = write!(
+            out,
+            "\"stalled\":{},\"latency\":{{\"count\":{},\"mean\":{:.4},",
+            self.is_stalled(),
+            lat.count,
+            if lat.mean.is_finite() { lat.mean } else { 0.0 },
+        );
+        for (key, v) in [
+            ("p50", lat.p50),
+            ("p99", lat.p99),
+            ("p999", lat.p999),
+            ("max", lat.max),
+        ] {
+            match v {
+                Some(q) => {
+                    let _ = write!(out, "\"{key}\":{q},");
+                }
+                None => {
+                    let _ = write!(out, "\"{key}\":null,");
+                }
+            }
+        }
+        out.pop(); // trailing comma inside the latency object
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    struct Fake {
+        shed: u64,
+        util: Option<f64>,
+        p50: Option<u64>,
+    }
+
+    impl StatsReport for Fake {
+        fn ticks(&self) -> u64 {
+            1000
+        }
+        fn delivered_count(&self) -> u64 {
+            42
+        }
+        fn aborted_count(&self) -> u64 {
+            3
+        }
+        fn shed_count(&self) -> u64 {
+            self.shed
+        }
+        fn refusal_count(&self) -> u64 {
+            17
+        }
+        fn mean_utilization(&self) -> Option<f64> {
+            self.util
+        }
+        fn is_stalled(&self) -> bool {
+            false
+        }
+        fn latency(&self) -> LatencySummary {
+            LatencySummary {
+                count: 42,
+                mean: 55.25,
+                p50: self.p50,
+                p99: self.p50.map(|p| p * 4),
+                p999: self.p50.map(|p| p * 9),
+                max: self.p50.map(|p| p * 10),
+            }
+        }
+    }
+
+    #[test]
+    fn json_object_parses_and_round_trips_fields() {
+        let r = Fake {
+            shed: 5,
+            util: Some(0.125),
+            p50: Some(40),
+        };
+        let v = Value::parse(&r.to_json_object()).expect("valid json");
+        assert_eq!(v.field("ticks").unwrap().as_u64(), Some(1000));
+        assert_eq!(v.field("delivered").unwrap().as_u64(), Some(42));
+        assert_eq!(v.field("shed").unwrap().as_u64(), Some(5));
+        assert_eq!(v.field("refusals").unwrap().as_u64(), Some(17));
+        let lat = v.field("latency").unwrap();
+        assert_eq!(lat.field("p50").unwrap().as_u64(), Some(40));
+        assert_eq!(lat.field("p999").unwrap().as_u64(), Some(360));
+        assert_eq!(lat.field("max").unwrap().as_u64(), Some(400));
+    }
+
+    #[test]
+    fn absent_metrics_serialize_as_null() {
+        let r = Fake {
+            shed: 0,
+            util: None,
+            p50: None,
+        };
+        let v = Value::parse(&r.to_json_object()).expect("valid json");
+        assert_eq!(v.field("utilization").unwrap(), &Value::Null);
+        assert_eq!(
+            v.field("latency").unwrap().field("p50").unwrap(),
+            &Value::Null
+        );
+        assert_eq!(
+            v.field("latency").unwrap().field("max").unwrap(),
+            &Value::Null
+        );
+    }
+
+    #[test]
+    fn key_order_is_canonical() {
+        let a = Fake {
+            shed: 1,
+            util: Some(0.5),
+            p50: Some(10),
+        }
+        .to_json_object();
+        let keys: Vec<&str> = a
+            .match_indices('"')
+            .collect::<Vec<_>>()
+            .chunks(2)
+            .filter_map(|pair| {
+                let (start, _) = pair[0];
+                let (end, _) = pair.get(1).copied()?;
+                let word = &a[start + 1..end];
+                (a.as_bytes().get(end + 1) == Some(&b':')).then_some(word)
+            })
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "ticks",
+                "delivered",
+                "aborted",
+                "shed",
+                "refusals",
+                "utilization",
+                "stalled",
+                "latency",
+                "count",
+                "mean",
+                "p50",
+                "p99",
+                "p999",
+                "max"
+            ]
+        );
+    }
+
+    #[test]
+    fn mean_only_helper() {
+        let s = LatencySummary::mean_only(9, 3.5);
+        assert_eq!(s.count, 9);
+        assert_eq!(s.p50, None);
+    }
+}

@@ -87,6 +87,164 @@ impl ArrivalProcess for BernoulliArrivals {
     }
 }
 
+/// A per-node stream of inter-arrival gaps, for open-loop serving drivers
+/// that generate load *online* (one gap at a time, riding a timing wheel)
+/// rather than materialising a whole batch up front.
+///
+/// Unlike [`ArrivalProcess::generate`], which returns a complete sorted
+/// message list, an `ArrivalStream` is consulted lazily: every time node
+/// `node` fires, the driver asks for the gap to that node's *next*
+/// arrival. This keeps memory independent of run length — a billion-tick
+/// soak holds one pending arrival per node, not a billion specs.
+///
+/// Gaps are in ticks and at least 1 (a node submits at most one new
+/// message per tick). Implementations must be deterministic given the
+/// caller's `SimRng`.
+pub trait ArrivalStream {
+    /// Ticks from the current arrival at `node` to its next one (>= 1).
+    fn next_gap(&mut self, node: u32, rng: &mut SimRng) -> u64;
+
+    /// Short label for reports, e.g. `"poisson"`.
+    fn label(&self) -> &'static str;
+}
+
+/// Memoryless arrivals: every gap is geometric with per-tick rate `p`,
+/// the streaming twin of [`BernoulliArrivals`] (a discrete-time Poisson
+/// process).
+///
+/// # Examples
+///
+/// ```
+/// use rmb_workloads::{ArrivalStream, PoissonStream};
+/// use rmb_sim::SimRng;
+///
+/// let mut s = PoissonStream::new(0.1);
+/// let mut rng = SimRng::seed(1);
+/// let gap = s.next_gap(0, &mut rng);
+/// assert!(gap >= 1);
+/// assert_eq!(s.label(), "poisson");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonStream {
+    p: f64,
+}
+
+impl PoissonStream {
+    /// Creates a stream with per-node per-tick arrival probability `p`
+    /// (clamped to `[1e-12, 1]` — a zero rate would mean an infinite gap).
+    pub fn new(p: f64) -> Self {
+        PoissonStream {
+            p: p.clamp(1e-12, 1.0),
+        }
+    }
+
+    /// The per-tick arrival probability.
+    pub const fn rate(&self) -> f64 {
+        self.p
+    }
+}
+
+impl ArrivalStream for PoissonStream {
+    fn next_gap(&mut self, _node: u32, rng: &mut SimRng) -> u64 {
+        rng.geometric_gap(self.p).max(1)
+    }
+
+    fn label(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+/// Bursty on/off arrivals: each node alternates between a geometric-length
+/// burst of closely spaced messages and a long idle gap, modelling the
+/// clumped traffic that stresses admission control far harder than a
+/// memoryless process at the same mean rate.
+///
+/// The stream is parameterised to *match the mean rate* of a
+/// [`PoissonStream`] with the same `p`: bursts of mean length `burst_len`
+/// arrive with intra-burst gaps of mean `1/p_on`, separated by off gaps
+/// sized so the long-run rate is `p`. The driver can therefore sweep the
+/// same offered-load axis for both processes.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_workloads::{ArrivalStream, BurstyStream};
+/// use rmb_sim::SimRng;
+///
+/// let mut s = BurstyStream::new(0.02, 8);
+/// let mut rng = SimRng::seed(1);
+/// assert!(s.next_gap(3, &mut rng) >= 1);
+/// assert_eq!(s.label(), "bursty");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstyStream {
+    /// Target long-run per-tick rate.
+    p: f64,
+    /// Mean messages per burst.
+    burst_len: u32,
+    /// Intra-burst per-tick rate (dense: mean gap 2 ticks).
+    p_on: f64,
+    /// Mean off gap between bursts, derived so the long-run rate is `p`.
+    off_gap: f64,
+    /// Messages left in the current burst, per node (lazily sized).
+    left: Vec<u32>,
+}
+
+impl BurstyStream {
+    /// Creates a bursty stream with long-run rate `p` and mean burst
+    /// length `burst_len` (at least 1).
+    pub fn new(p: f64, burst_len: u32) -> Self {
+        let p = p.clamp(1e-12, 0.5);
+        let burst_len = burst_len.max(1);
+        let p_on = 0.5;
+        // Long-run rate: burst_len messages per (burst_len / p_on + off_gap)
+        // ticks. Solve for off_gap; clamp at 1 so saturating rates stay
+        // well-defined (they just stop being bursty).
+        let off_gap = (f64::from(burst_len) / p - f64::from(burst_len) / p_on).max(1.0);
+        BurstyStream {
+            p,
+            burst_len,
+            p_on,
+            off_gap,
+            left: Vec::new(),
+        }
+    }
+
+    /// The target long-run per-tick rate.
+    pub const fn rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean messages per burst.
+    pub const fn burst_len(&self) -> u32 {
+        self.burst_len
+    }
+}
+
+impl ArrivalStream for BurstyStream {
+    fn next_gap(&mut self, node: u32, rng: &mut SimRng) -> u64 {
+        let node = node as usize;
+        if self.left.len() <= node {
+            self.left.resize(node + 1, 0);
+        }
+        if self.left[node] == 0 {
+            // Start a new burst after an off period. Burst length is
+            // geometric with mean `burst_len`; the off gap is geometric
+            // with mean `off_gap`.
+            let len = rng.geometric_gap(1.0 / f64::from(self.burst_len)) as u32;
+            self.left[node] = len.max(1);
+            rng.geometric_gap(1.0 / self.off_gap).max(1)
+        } else {
+            self.left[node] -= 1;
+            rng.geometric_gap(self.p_on).max(1)
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "bursty"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +301,71 @@ mod tests {
         let mut rng = SimRng::seed(2);
         let msgs = arr.generate(8, 2_000, &mut rng, &mut |_| 1);
         assert!(msgs.windows(2).all(|w| w[0].inject_at <= w[1].inject_at));
+    }
+
+    /// Long-run arrival rate of a stream, measured by walking one node's
+    /// gap sequence.
+    fn measured_rate(stream: &mut dyn ArrivalStream, seed: u64, events: u64) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        let mut t = 0u64;
+        for _ in 0..events {
+            t += stream.next_gap(0, &mut rng);
+        }
+        events as f64 / t as f64
+    }
+
+    #[test]
+    fn poisson_stream_matches_target_rate() {
+        for &p in &[0.01, 0.05, 0.2] {
+            let got = measured_rate(&mut PoissonStream::new(p), 11, 50_000);
+            assert!((got - p).abs() < 0.05 * p, "target {p}, measured {got}");
+        }
+    }
+
+    #[test]
+    fn bursty_stream_matches_target_mean_rate() {
+        for &p in &[0.01, 0.05] {
+            let got = measured_rate(&mut BurstyStream::new(p, 8), 13, 50_000);
+            assert!((got - p).abs() < 0.15 * p, "target {p}, measured {got}");
+        }
+    }
+
+    #[test]
+    fn bursty_stream_actually_clumps() {
+        // At the same mean rate, the bursty stream's gap variance must
+        // dwarf the Poisson stream's: lots of short gaps, a few huge ones.
+        let stats = |stream: &mut dyn ArrivalStream| {
+            let mut rng = SimRng::seed(17);
+            let gaps: Vec<u64> = (0..20_000).map(|_| stream.next_gap(0, &mut rng)).collect();
+            let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+            let var = gaps
+                .iter()
+                .map(|&g| (g as f64 - mean).powi(2))
+                .sum::<f64>()
+                / gaps.len() as f64;
+            var / (mean * mean) // squared coefficient of variation
+        };
+        let poisson_cv2 = stats(&mut PoissonStream::new(0.02));
+        let bursty_cv2 = stats(&mut BurstyStream::new(0.02, 8));
+        assert!(
+            bursty_cv2 > 2.0 * poisson_cv2,
+            "bursty cv^2 {bursty_cv2} vs poisson {poisson_cv2}"
+        );
+    }
+
+    #[test]
+    fn streams_gaps_are_positive_and_deterministic() {
+        let run = || {
+            let mut s = BurstyStream::new(0.03, 4);
+            let mut rng = SimRng::seed(23);
+            (0..1000)
+                .map(|i| s.next_gap(i % 5, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&g| g >= 1));
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod permutation;
 mod sizes;
 mod suite;
 
-pub use arrival::{ArrivalProcess, BernoulliArrivals};
+pub use arrival::{ArrivalProcess, ArrivalStream, BernoulliArrivals, BurstyStream, PoissonStream};
 pub use faults::FaultScenario;
 pub use locality::LocalityTraffic;
 pub use permutation::{Permutation, PermutationKind};

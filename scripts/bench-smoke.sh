@@ -12,7 +12,7 @@ cargo clippy --workspace --all-targets -- -D clippy::perf
 
 echo "== clippy (all warnings as errors on the scheduler/fault/builder path) =="
 cargo clippy -p rmb-types -p rmb-workloads -p rmb-sim -p rmb-core -p rmb-hier \
-  -p rmb-bench --all-targets -- -D warnings
+  -p rmb-serve -p rmb-bench --all-targets -- -D warnings
 
 echo "== scheduler equivalence (event engine vs dense-sweep oracle) =="
 cargo test -q -p rmb-core --test scheduler_equivalence
@@ -107,5 +107,33 @@ if grep -q '"stalled": true' <<<"$hier_json"; then
   echo "hier-scaling sweep stalled" >&2
   exit 1
 fi
+
+echo "== open-loop serving soak (short, counters-only retention) =="
+# A scaled-down version of the BENCH_PR8.json soak: same topology, rate
+# and seed, 200k ticks instead of 10M. Gates the serving stack on the
+# properties that must never regress — exact loss accounting and zero
+# retained records under counters-only retention — and cross-checks the
+# delivered count against the recorded 10M-tick run pro rata (the soak
+# is deterministic, but tick count scales the totals, so the comparison
+# is a ratio bound, not equality).
+soak_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \
+  --exp open-loop-soak --ticks 200000 --json)"
+grep -q '"experiment": "open-loop-soak"' <<<"$soak_json"
+grep -q '"loss_accounted": true' <<<"$soak_json" \
+  || { echo "open-loop soak lost arrivals" >&2; exit 1; }
+grep -q '"retained_records": 0' <<<"$soak_json" \
+  || { echo "open-loop soak retained records under counters-only" >&2; exit 1; }
+soak_delivered="$(awk -F'"delivered": ' 'NF > 1 { split($2, a, ","); print a[1]; exit }' <<<"$soak_json")"
+bench_delivered="$(awk -F'"delivered": ' '
+  /"soak"/ { grab = 1 }
+  grab && NF > 1 { split($2, a, ","); print a[1]; exit }
+' BENCH_PR8.json)"
+awk -v s="$soak_delivered" -v b="$bench_delivered" 'BEGIN {
+  # 200k of 10M ticks => expect ~2% of the recorded deliveries; allow 2x
+  # slack either way for warmup-fraction effects.
+  expected = b / 50.0
+  printf "open-loop soak: delivered %d over 200k ticks (recorded 10M-tick run: %d)\n", s, b
+  exit (s > expected * 2 || s < expected / 2) ? 1 : 0
+}' || { echo "open-loop soak delivered count off vs BENCH_PR8.json" >&2; exit 1; }
 
 echo "bench smoke OK"

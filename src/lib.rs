@@ -14,6 +14,8 @@
 //! * [`baselines`] — hypercube / EHC / GFC / fat-tree / mesh comparators.
 //! * [`hier`] — hierarchical composition: local rings bridged through a
 //!   global ring for scale-out topologies.
+//! * [`serve`] — open-loop serving: streaming arrivals, admission
+//!   control with explicit shedding, online latency percentiles.
 //! * [`analysis`] — §3.2 cost models and the offline-optimal scheduler.
 //! * [`workloads`] — permutations and arrival processes.
 //! * [`sim`] — the simulation substrate (ticks, events, stats, tracing).
@@ -40,6 +42,7 @@ pub use rmb_async as asynchronous;
 pub use rmb_baselines as baselines;
 pub use rmb_core as core;
 pub use rmb_hier as hier;
+pub use rmb_serve as serve;
 pub use rmb_sim as sim;
 pub use rmb_types as types;
 pub use rmb_workloads as workloads;
