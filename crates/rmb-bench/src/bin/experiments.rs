@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--exp NAME] [--n N] [--k K] [--flits F] [--seed S]
-//!             [--rate R] [--ticks T] [--json] [--list]
+//!             [--rate R] [--ticks T] [--threads T] [--json] [--list]
 //! ```
 //!
 //! `--json` emits one machine-readable JSON object per experiment instead
@@ -28,6 +28,7 @@ struct Options {
     seed: u64,
     ticks: Option<u64>,
     rate: Option<f64>,
+    threads: usize,
     json: bool,
     list: bool,
 }
@@ -36,7 +37,7 @@ fn usage() -> String {
     let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
     format!(
         "usage: experiments [--exp {}|all] [--n N] [--k K] [--flits F] \
-         [--seed S] [--rate R] [--ticks T] [--json] [--list]",
+         [--seed S] [--rate R] [--ticks T] [--threads T] [--json] [--list]",
         names.join("|")
     )
 }
@@ -50,6 +51,7 @@ fn parse() -> Options {
         seed: 1996,
         ticks: None,
         rate: None,
+        threads: 1,
         json: false,
         list: false,
     };
@@ -70,6 +72,9 @@ fn parse() -> Options {
             "--seed" => opt.seed = value("--seed").parse().expect("numeric --seed"),
             "--ticks" => opt.ticks = Some(value("--ticks").parse().expect("numeric --ticks")),
             "--rate" => opt.rate = Some(value("--rate").parse().expect("numeric --rate")),
+            "--threads" => {
+                opt.threads = value("--threads").parse().expect("numeric --threads");
+            }
             "--json" => opt.json = true,
             "--list" => opt.list = true,
             other => {
@@ -108,6 +113,7 @@ fn main() {
         all,
         ticks: opt.ticks,
         rate: opt.rate,
+        threads: opt.threads.max(1),
     };
 
     for e in &reg {

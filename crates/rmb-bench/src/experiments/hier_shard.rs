@@ -1,0 +1,196 @@
+//! Shard-scaling study: wall-clock speedup of the conservative parallel
+//! hierarchy engine across a `threads × shape × locality` grid.
+//!
+//! Every cell runs the *same* workload (same seed, same fault-free
+//! hierarchy) under `ExecMode::Serial` and under `ExecMode::Sharded(t)`
+//! for each requested thread count, and checks the reports are equal
+//! before recording the timing — a speedup number for a run that diverged
+//! from the oracle would be meaningless. Rows carry the serial baseline
+//! (threads = 1) so plots can normalise, plus `host_threads` (what the OS
+//! actually offers) so numbers collected on a starved CI box are legible
+//! as such: on a single-core host every mode time-slices one CPU and the
+//! honest expectation is speedup ≈ 1, not 2.
+//!
+//! Locality matters to scaling: at high locality nearly all work lives in
+//! the parallel ring-advance phase, while at locality 0 every message
+//! crosses the (serial) coordinator twice, so the curve flattens — an
+//! Amdahl knob the grid makes visible.
+
+use crate::experiments::hier_scaling::exec_mode_for;
+use rmb_analysis::Table;
+use rmb_hier::{HierNetwork, HierReport};
+use rmb_sim::SimRng;
+use rmb_types::{ExecMode, HierConfig};
+use rmb_workloads::LocalityTraffic;
+
+/// One `(threads, shape, locality)` cell of the shard-scaling grid.
+#[derive(Debug, Clone)]
+pub struct HierShardRow {
+    /// Engine threads (1 = the serial oracle row).
+    pub threads: u32,
+    /// Local rings.
+    pub rings: u32,
+    /// Nodes per local ring, bridge included.
+    pub n: u32,
+    /// Buses per hop.
+    pub k: u16,
+    /// Total ring positions (`rings * n` plus the global ring's).
+    pub total_nodes: u32,
+    /// Fraction of traffic staying on its source ring.
+    pub locality: f64,
+    /// Messages offered (all delivered; the run checks).
+    pub messages: usize,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Wall-clock milliseconds of this cell's run.
+    pub wall_ms: f64,
+    /// Simulated ticks per wall second.
+    pub sim_ticks_per_sec: f64,
+    /// `wall_ms(serial) / wall_ms(this)` for the same shape and
+    /// locality; 1.0 on the serial row by construction.
+    pub speedup: f64,
+    /// `true` when this run's report compared equal to the serial
+    /// oracle's (must always hold; recorded so the JSON is self-checking).
+    pub matches_serial: bool,
+    /// Worker threads the host actually offers
+    /// (`std::thread::available_parallelism`); speedup is only physically
+    /// possible up to this.
+    pub host_threads: u32,
+}
+
+fn run_cell(shape: (u32, u32, u16), locality: f64, seed: u64, mode: ExecMode) -> HierReport {
+    let (rings, n, k) = shape;
+    let cfg = HierConfig::builder(rings, n, k)
+        .head_timeout(16 * u64::from(n))
+        .retry_backoff(u64::from(n))
+        .build()
+        .expect("valid shape");
+    let count = 4 * cfg.compute_nodes() as usize;
+    let mut rng = SimRng::seed(seed).fork(&format!("hier-shard/{rings}x{n}x{k}/{locality}"));
+    let msgs = LocalityTraffic {
+        rings,
+        nodes: n,
+        bridge: cfg.bridge(),
+        locality,
+        flits: 8,
+    }
+    .generate(count, 2 * count as u64, &mut rng);
+    let mut net = HierNetwork::builder(cfg).exec_mode(mode).build();
+    net.submit_all(msgs).expect("valid workload");
+    net.run_to_quiescence(64_000_000)
+}
+
+/// Runs the shard-scaling grid. For each shape and locality the serial
+/// oracle runs first, then every entry of `threads_axis`; each sharded
+/// report is asserted equal to the oracle's before its timing is kept.
+///
+/// Cells run **sequentially** on purpose: this experiment measures wall
+/// time, and overlapping cells (the `RMB_THREADS` sweep parallelism used
+/// elsewhere) would contend for the very cores under test.
+pub fn hier_shard_experiment(
+    shapes: &[(u32, u32, u16)],
+    localities: &[f64],
+    threads_axis: &[usize],
+    seed: u64,
+) -> Vec<HierShardRow> {
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get()) as u32;
+    let mut rows = Vec::new();
+    for &shape in shapes {
+        let (rings, n, k) = shape;
+        let cfg = HierConfig::builder(rings, n, k).build().expect("valid shape");
+        for &locality in localities {
+            let serial = run_cell(shape, locality, seed, ExecMode::Serial);
+            assert!(!serial.stalled, "serial cell stalled: {serial:?}");
+            let serial_perf = serial.perf.expect("timed run");
+            let mut push = |threads: u32, report: &HierReport, matches: bool| {
+                let perf = report.perf.expect("timed run");
+                rows.push(HierShardRow {
+                    threads,
+                    rings,
+                    n,
+                    k,
+                    total_nodes: cfg.total_nodes(),
+                    locality,
+                    messages: report.submitted,
+                    ticks: report.ticks,
+                    wall_ms: perf.wall_ms,
+                    sim_ticks_per_sec: perf.sim_ticks_per_sec,
+                    speedup: if perf.wall_ms > 0.0 {
+                        serial_perf.wall_ms / perf.wall_ms
+                    } else {
+                        1.0
+                    },
+                    matches_serial: matches,
+                    host_threads,
+                });
+            };
+            push(1, &serial, true);
+            for &t in threads_axis {
+                if t <= 1 {
+                    continue; // the serial row already covers threads = 1
+                }
+                let sharded = run_cell(shape, locality, seed, exec_mode_for(t));
+                // Byte-identity is the precondition for a meaningful
+                // speedup number; `HierReport` equality ignores perf.
+                let matches = sharded == serial;
+                assert!(matches, "sharded({t}) diverged from serial at {shape:?}/{locality}");
+                push(t as u32, &sharded, matches);
+            }
+        }
+    }
+    rows
+}
+
+/// Renders shard-scaling rows.
+pub fn hier_shard_table(rows: &[HierShardRow]) -> Table {
+    let mut t = Table::new(vec![
+        "threads", "rings", "N/ring", "k", "locality", "ticks", "wall ms", "Mticks/s", "speedup",
+        "matches",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.threads.to_string(),
+            r.rings.to_string(),
+            r.n.to_string(),
+            r.k.to_string(),
+            format!("{:.2}", r.locality),
+            r.ticks.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.3}", r.sim_ticks_per_sec / 1e6),
+            format!("{:.2}", r.speedup),
+            r.matches_serial.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_cell_and_matches_the_oracle() {
+        let rows = hier_shard_experiment(&[(2, 8, 2)], &[0.5, 0.9], &[2], 11);
+        // Two localities x (serial + one sharded row).
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.matches_serial, "{r:?}");
+            assert!(r.wall_ms >= 0.0);
+            assert!(r.speedup > 0.0);
+            assert_eq!(r.messages, 4 * 2 * 7); // 4 per compute node
+        }
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12, "serial row normalises to 1");
+        assert_eq!(hier_shard_table(&rows).len(), 4);
+    }
+
+    #[test]
+    fn threads_axis_deduplicates_the_serial_row() {
+        let rows = hier_shard_experiment(&[(2, 8, 2)], &[0.8], &[1, 2], 3);
+        // threads=1 in the axis must not duplicate the oracle row.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+    }
+}

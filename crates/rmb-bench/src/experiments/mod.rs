@@ -11,6 +11,7 @@ mod deadlock;
 mod extensions;
 mod fault_tolerance;
 mod hier_scaling;
+mod hier_shard;
 mod lemma1;
 mod load;
 mod open_loop;
@@ -31,6 +32,7 @@ pub use fault_tolerance::{
     fault_tolerance_experiment, fault_tolerance_table, FaultToleranceRow,
 };
 pub use hier_scaling::{hier_scaling_experiment, hier_scaling_table, HierScalingRow};
+pub use hier_shard::{hier_shard_experiment, hier_shard_table, HierShardRow};
 pub use lemma1::{lemma1_experiment, Lemma1Result};
 pub use load::{load_sweep, load_table, LoadPoint};
 pub use open_loop::{

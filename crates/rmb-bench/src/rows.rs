@@ -118,8 +118,8 @@ macro_rules! json_report {
 
 use crate::experiments::{
     AblationResult, CompetitivenessRow, DeadlockResult, FaultToleranceRow, GridRow,
-    HierScalingRow, HotspotRow, Lemma1Result, LoadPoint, MultiSendRow, MulticastRow, OpenLoopRow,
-    PermutationRow, ScalingRow, SoakRow, Theorem1Result, WireDelayRow,
+    HierScalingRow, HierShardRow, HotspotRow, Lemma1Result, LoadPoint, MultiSendRow, MulticastRow,
+    OpenLoopRow, PermutationRow, ScalingRow, SoakRow, Theorem1Result, WireDelayRow,
 };
 
 json_report!(AblationResult { variant, makespan, mean_latency, refusals, stalled });
@@ -170,6 +170,24 @@ json_report!(HierScalingRow {
     throughput,
     mean_latency,
     stalled,
+    threads,
+    wall_ms,
+    sim_ticks_per_sec,
+});
+json_report!(HierShardRow {
+    threads,
+    rings,
+    n,
+    k,
+    total_nodes,
+    locality,
+    messages,
+    ticks,
+    wall_ms,
+    sim_ticks_per_sec,
+    speedup,
+    matches_serial,
+    host_threads,
 });
 json_report!(OpenLoopRow {
     topology,
@@ -188,6 +206,7 @@ json_report!(OpenLoopRow {
     p999,
     utilization,
     ticks,
+    threads,
 });
 json_report!(SoakRow {
     topology,

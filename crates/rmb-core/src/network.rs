@@ -1072,6 +1072,21 @@ impl RmbNetwork {
         }
     }
 
+    /// Advances the simulation until its clock reaches `until` (a no-op if
+    /// the clock is already there or past).
+    ///
+    /// This is the hook the conservative parallel hierarchy engine drives:
+    /// each ring is handed one lookahead-bounded window at a time and
+    /// advances itself to the window boundary independently of every other
+    /// ring. The loop is deliberately identical to [`run`](Self::run) — a
+    /// windowed run of any partitioning reaches the exact same state as
+    /// one serial `run`.
+    pub fn run_window(&mut self, until: u64) {
+        while self.now.get() < until {
+            self.tick();
+        }
+    }
+
     /// Runs until quiescence, stall, or `max_ticks`, and reports.
     ///
     /// With [`SimOptions::fast_forward`](crate::SimOptions) enabled (the

@@ -21,6 +21,16 @@
 //! backs off — the up/down split makes the slot dependency acyclic, so
 //! bridge queues cannot deadlock against each other.
 //!
+//! # Parallel execution
+//!
+//! The hierarchy can advance its rings across cores: build with
+//! [`HierNetworkBuilder::exec_mode`] and
+//! [`ExecMode::Sharded`](rmb_types::ExecMode) and each conservative time
+//! window's ring-advance phase is striped over a persistent worker pool,
+//! while all cross-ring coordination (leg launches, bridge queues,
+//! harvesting) stays on the calling thread. The serial engine remains the
+//! oracle: every report, log and trace is byte-identical across modes.
+//!
 //! # Examples
 //!
 //! ```

@@ -24,16 +24,33 @@
 //! leg that exhausts its ring's retry budget moves the message to
 //! `Failed`, releasing every slot it held, and the failure is reported as
 //! a [`ProtocolError::LegAborted`] naming the leg.
+//!
+//! # Execution modes
+//!
+//! All cross-ring coupling lives in the coordinator phases above — leg
+//! launching reads/writes bridge queues before any ring moves, and
+//! harvesting drains ring logs after every ring has finished the tick. The
+//! rings themselves advance independently in between. That structure is
+//! what makes the conservative parallel engine exact rather than
+//! approximate: under [`ExecMode::Sharded`], the ring-advance phase of
+//! each synchronisation window runs on a [`ShardPool`] while both
+//! coordinator phases stay on the calling thread, so *every* observable —
+//! reports, delivery logs, trace events, per-ring RNG draws — is
+//! byte-identical to [`ExecMode::Serial`]. The window length equals the
+//! model's lookahead (see `DESIGN.md` §9b for the proof sketch); with
+//! [`model::BRIDGE_DWELL_TICKS`] = 1 that is one tick per window.
 
 use crate::model;
+use rmb_async::ShardPool;
 use rmb_core::{RmbNetwork, RunReport, SchedulerMode};
 use rmb_sim::trace::{TraceEvent, TraceKind, TraceSink, VecSink};
 use rmb_sim::Tick;
 use rmb_types::{
-    AbortedMessage, DeliveredMessage, FaultPlan, HierConfig, HierLeg, HierMessageSpec,
-    MessageSpec, NodeId, ProtocolError, RequestId,
+    AbortedMessage, DeliveredMessage, ExecMode, FaultPlan, HierConfig, HierLeg, HierMessageSpec,
+    MessageSpec, NodeId, PerfStats, ProtocolError, RequestId,
 };
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Completion record for a hierarchical message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,7 +89,11 @@ pub struct HierAborted {
 }
 
 /// Summary of a hierarchical run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality ignores [`perf`](Self::perf): wall-clock measurement is host
+/// metadata, and a sharded run's report must compare equal to the serial
+/// oracle's even though the two clocks differ.
+#[derive(Debug, Clone, Copy)]
 pub struct HierReport {
     /// Ticks simulated.
     pub ticks: u64,
@@ -99,6 +120,43 @@ pub struct HierReport {
     pub makespan: u64,
     /// Sum of end-to-end latencies of delivered messages.
     pub latency_sum: u64,
+    /// Wall-clock measurement of the run (`None` for reports built by
+    /// [`HierNetwork::report`], which does not time anything). Excluded
+    /// from equality.
+    pub perf: Option<PerfStats>,
+}
+
+impl PartialEq for HierReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `perf`, which is measurement metadata.
+        (
+            self.ticks,
+            self.submitted,
+            self.delivered,
+            self.aborted,
+            self.undelivered,
+            self.stalled,
+            self.bridge_refusals,
+            self.leg_refusals,
+            self.leg_retries,
+            self.fault_kills,
+            self.makespan,
+            self.latency_sum,
+        ) == (
+            other.ticks,
+            other.submitted,
+            other.delivered,
+            other.aborted,
+            other.undelivered,
+            other.stalled,
+            other.bridge_refusals,
+            other.leg_refusals,
+            other.leg_retries,
+            other.fault_kills,
+            other.makespan,
+            other.latency_sum,
+        )
+    }
 }
 
 impl HierReport {
@@ -130,6 +188,10 @@ impl rmb_types::StatsReport for HierReport {
 
     fn is_stalled(&self) -> bool {
         self.stalled
+    }
+
+    fn perf(&self) -> Option<PerfStats> {
+        self.perf
     }
 
     fn latency(&self) -> rmb_types::LatencySummary {
@@ -228,6 +290,9 @@ pub struct HierNetwork {
     last_progress: u64,
     checked: bool,
     recorder: Option<VecSink>,
+    exec: ExecMode,
+    /// Worker pool for [`ExecMode::Sharded`]; `None` under `Serial`.
+    pool: Option<ShardPool>,
 }
 
 impl HierNetwork {
@@ -249,6 +314,7 @@ impl HierNetwork {
             checked: false,
             recording: false,
             scheduler: SchedulerMode::EventDriven,
+            exec: ExecMode::Serial,
         }
     }
 
@@ -309,11 +375,23 @@ impl HierNetwork {
     /// refusals, end-to-end deliveries and aborts) and keeps recording
     /// into a fresh sink. Per-ring protocol traces are not recorded —
     /// tick the rings through their own recording option if needed.
+    ///
+    /// # Ordering contract
+    ///
+    /// Events are returned globally ordered by `(tick, ring, seq)`: first
+    /// by the tick they occurred at, then by the ring (`node` field) they
+    /// name, then by the order the coordinator emitted them within that
+    /// tick and ring. Earlier versions returned raw emission order, which
+    /// interleaved rings according to internal phase structure; the sorted
+    /// order is what consumers can rely on, it is identical across
+    /// [`ExecMode`]s, and the stable sort keeps per-ring causality intact.
     pub fn take_events(&mut self) -> Vec<TraceEvent> {
         match self.recorder.take() {
             Some(sink) => {
                 self.recorder = Some(VecSink::new());
-                sink.into_events()
+                let mut events = sink.into_events();
+                events.sort_by_key(|e| (e.at, e.node));
+                events
             }
             None => Vec::new(),
         }
@@ -360,20 +438,46 @@ impl HierNetwork {
         specs.into_iter().map(|s| self.submit(s)).collect()
     }
 
-    /// Advances every ring by one tick, launching due legs first and
-    /// harvesting leg completions afterwards.
+    /// Advances every ring by one synchronisation window (one tick, the
+    /// model's lookahead), launching due legs first and harvesting leg
+    /// completions afterwards.
+    ///
+    /// Both launch phases and the harvest run on the calling thread in
+    /// every mode; only the ring-advance phase in between is striped
+    /// across the shard pool under [`ExecMode::Sharded`]. Rings exchange
+    /// no state inside a window, so the result is identical either way.
     pub fn tick(&mut self) {
         self.launch_source_legs();
         self.launch_bridge_legs();
-        for net in &mut self.locals {
-            net.tick();
-        }
-        self.global.tick();
+        self.advance_rings(self.now + 1);
         self.harvest();
         self.now += 1;
         if self.checked {
             self.check_bridge_invariants();
         }
+    }
+
+    /// The parallel phase: every carrier ring advances itself to the
+    /// window boundary `until`, independently of every other ring.
+    fn advance_rings(&mut self, until: u64) {
+        if let Some(pool) = &self.pool {
+            let mut shards: Vec<&mut RmbNetwork> = self
+                .locals
+                .iter_mut()
+                .chain(std::iter::once(&mut self.global))
+                .collect();
+            pool.run_shards(&mut shards, &|_, net| net.run_window(until));
+        } else {
+            for net in &mut self.locals {
+                net.run_window(until);
+            }
+            self.global.run_window(until);
+        }
+    }
+
+    /// The execution mode this hierarchy was built with.
+    pub const fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// `true` when some ring has due work, or a message is due to launch
@@ -396,7 +500,12 @@ impl HierNetwork {
 
     /// Runs until every message is terminal, the tick budget is spent, or
     /// no progress is observed for a conservative stall window.
+    ///
+    /// The returned report carries a [`PerfStats`] timing this call
+    /// (wall-clock metadata only — excluded from report equality).
     pub fn run_to_quiescence(&mut self, max_ticks: u64) -> HierReport {
+        let start = Instant::now();
+        let from = self.now;
         let stall_window = self.stall_window();
         let mut stalled = false;
         while !self.is_quiescent() {
@@ -415,7 +524,13 @@ impl HierNetwork {
                 break;
             }
         }
-        self.report_with(stalled)
+        let mut report = self.report_with(stalled);
+        report.perf = Some(PerfStats::measure(
+            self.now - from,
+            start.elapsed(),
+            self.exec.threads(),
+        ));
+        report
     }
 
     /// Builds a report of everything observed so far.
@@ -446,6 +561,7 @@ impl HierNetwork {
             fault_kills,
             makespan: self.last_delivery_at,
             latency_sum: self.latency_sum,
+            perf: None,
         }
     }
 
@@ -647,12 +763,16 @@ impl HierNetwork {
         };
         self.last_progress = self.now;
         match (leg, to) {
-            // Leg 1 of an inter-ring route: into the up queue.
+            // Leg 1 of an inter-ring route: into the up queue. The dwell
+            // clock starts at the tick the leg's last flit landed (equal
+            // to `self.now` when harvest runs every window, but anchored
+            // to the event so the formula stays exact under any window
+            // length).
             (HierLeg::SourceLocal, Some(b)) => {
                 self.bridges[b as usize].up_reserved -= 1;
                 self.bridges[b as usize].up.push_back(id);
                 self.msgs[id as usize].stage = Stage::AtBridge {
-                    not_before: self.now + model::BRIDGE_DWELL_TICKS,
+                    not_before: d.delivered_at + model::BRIDGE_DWELL_TICKS,
                 };
                 self.trace(id, TraceKind::BridgeIngress, b, "entered up queue");
             }
@@ -663,7 +783,7 @@ impl HierNetwork {
                 self.bridges[b as usize].down_reserved -= 1;
                 self.bridges[b as usize].down.push_back(id);
                 self.msgs[id as usize].stage = Stage::AtBridge {
-                    not_before: self.now + model::BRIDGE_DWELL_TICKS,
+                    not_before: d.delivered_at + model::BRIDGE_DWELL_TICKS,
                 };
                 self.trace(id, TraceKind::BridgeIngress, b, "entered down queue");
             }
@@ -791,6 +911,7 @@ pub struct HierNetworkBuilder {
     checked: bool,
     recording: bool,
     scheduler: SchedulerMode,
+    exec: ExecMode,
 }
 
 impl HierNetworkBuilder {
@@ -853,6 +974,18 @@ impl HierNetworkBuilder {
         self
     }
 
+    /// Selects the execution mode: [`ExecMode::Serial`] (default) runs
+    /// every ring on the calling thread; [`ExecMode::Sharded`] advances
+    /// rings on a worker pool inside each conservative window. The mode
+    /// changes wall-clock time only — reports, logs, traces and RNG
+    /// streams are byte-identical across modes (the exec-equivalence
+    /// suite enforces this).
+    #[must_use]
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
     /// Constructs the hierarchy.
     ///
     /// # Panics
@@ -902,6 +1035,11 @@ impl HierNetworkBuilder {
             last_progress: 0,
             checked: self.checked,
             recorder: self.recording.then(VecSink::new),
+            exec: self.exec,
+            pool: self
+                .exec
+                .is_sharded()
+                .then(|| ShardPool::new(self.exec.threads())),
         }
     }
 }

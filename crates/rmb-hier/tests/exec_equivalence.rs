@@ -1,0 +1,263 @@
+//! Scheduler-equivalence suite for the execution modes: the serial
+//! engine is the oracle, and `Sharded(n)` must reproduce it **byte for
+//! byte** — hierarchy report, delivery and abort logs, trace events,
+//! per-ring logs and counters (which pin the per-ring RNG streams) — for
+//! every thread count, under random faults, locality mixes and bridge
+//! overflow. The only thing a mode may change is wall-clock time.
+
+use proptest::prelude::*;
+use rmb_hier::{HierAborted, HierDelivered, HierNetwork, HierReport};
+use rmb_sim::trace::TraceEvent;
+use rmb_sim::SimRng;
+use rmb_types::{ExecMode, HierConfig, HierMessageSpec, NodeId, StatsReport};
+use rmb_workloads::{FaultScenario, LocalityTraffic};
+
+/// Everything observable from one run. `ring_state` carries, per carrier
+/// (locals then global), the full delivery log plus the counters that are
+/// sensitive to every RNG draw and scheduling decision inside the ring.
+struct Observed {
+    report: HierReport,
+    report_json: String,
+    delivered: Vec<HierDelivered>,
+    aborted: Vec<HierAborted>,
+    events: Vec<TraceEvent>,
+    ring_state: Vec<(Vec<rmb_types::DeliveredMessage>, u64, u64, u64, u64)>,
+}
+
+struct Scenario {
+    cfg: HierConfig,
+    fault_fraction: f64,
+    permanent: bool,
+    seed: u64,
+    locality: f64,
+    count: usize,
+    max_ticks: u64,
+}
+
+fn run(s: &Scenario, mode: ExecMode) -> Observed {
+    let rings = s.cfg.rings();
+    let nodes = s.cfg.local().nodes().get();
+    let k = s.cfg.local().buses();
+    let scenario = FaultScenario {
+        fraction: s.fault_fraction,
+        horizon: 3_000,
+        outage: if s.permanent { None } else { Some(500) },
+    };
+    let mut rng = SimRng::seed(s.seed);
+    let mut builder = HierNetwork::builder(s.cfg)
+        .checked(true)
+        .recording(true)
+        .fault_seed(s.seed)
+        .leg_max_retries(4)
+        .exec_mode(mode);
+    for r in 0..rings {
+        builder = builder.local_fault_plan(r, scenario.draw(nodes, k, &mut rng));
+    }
+    builder = builder.global_fault_plan(scenario.draw(rings, k, &mut rng));
+    let mut net = builder.build();
+    assert_eq!(net.exec_mode(), mode);
+
+    let msgs = LocalityTraffic {
+        rings,
+        nodes,
+        bridge: NodeId::new(0),
+        locality: s.locality,
+        flits: 6,
+    }
+    .generate(s.count, 1_500, &mut rng);
+    net.submit_all(msgs).unwrap();
+    let report = net.run_to_quiescence(s.max_ticks);
+
+    // Timed runs carry perf; it must record the mode's thread count.
+    let perf = report.perf.expect("run_to_quiescence times itself");
+    assert_eq!(perf.threads as usize, mode.threads());
+
+    let ring_state = (0..=rings)
+        .map(|c| {
+            let ring = if c < rings { net.local(c) } else { net.global_ring() };
+            let r = ring.report();
+            (
+                ring.delivered_log().to_vec(),
+                r.refusals,
+                r.retries,
+                r.fault_kills,
+                r.compaction_moves,
+            )
+        })
+        .collect();
+    Observed {
+        report,
+        // `report()` is untimed (perf = null), so the canonical JSON row
+        // must be byte-identical across modes, not merely field-equal.
+        report_json: net.report().to_json_object(),
+        delivered: net.delivered_log().to_vec(),
+        aborted: net.aborted_log().to_vec(),
+        events: net.take_events(),
+        ring_state,
+    }
+}
+
+fn assert_equivalent(oracle: &Observed, sharded: &Observed, label: &str) {
+    assert_eq!(oracle.report, sharded.report, "{label}: report");
+    assert_eq!(
+        oracle.report.latency_sum, sharded.report.latency_sum,
+        "{label}: latency_sum"
+    );
+    assert_eq!(
+        oracle.report_json, sharded.report_json,
+        "{label}: canonical JSON row"
+    );
+    assert_eq!(oracle.delivered, sharded.delivered, "{label}: delivered log");
+    assert_eq!(oracle.aborted, sharded.aborted, "{label}: aborted log");
+    assert_eq!(oracle.events, sharded.events, "{label}: trace events");
+    for (c, (a, b)) in oracle.ring_state.iter().zip(&sharded.ring_state).enumerate() {
+        assert_eq!(a.0, b.0, "{label}: carrier {c} delivery log");
+        assert_eq!(
+            (a.1, a.2, a.3, a.4),
+            (b.1, b.2, b.3, b.4),
+            "{label}: carrier {c} counters (refusals, retries, fault_kills, compaction_moves)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The core property: for random hierarchies, fault mixes, traffic
+    /// localities, queue depths and thread counts, `Sharded(t)` equals
+    /// the serial oracle on every observable.
+    #[test]
+    fn sharded_matches_serial_oracle(
+        rings in 2u32..5,
+        nodes in 4u32..10,
+        k in 1u16..4,
+        depth in 1u32..4,
+        locality_pct in 0u32..101,
+        fault_fraction in 0u32..35,
+        permanent in any::<bool>(),
+        count in 10usize..50,
+        threads in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = HierConfig::builder(rings, nodes, k)
+            .bridge_queue_depth(depth)
+            .build()
+            .unwrap();
+        let s = Scenario {
+            cfg,
+            fault_fraction: f64::from(fault_fraction) / 100.0,
+            permanent,
+            seed,
+            locality: f64::from(locality_pct) / 100.0,
+            count,
+            max_ticks: 10_000_000,
+        };
+        let oracle = run(&s, ExecMode::Serial);
+        let sharded = run(&s, ExecMode::Sharded(threads));
+        assert_equivalent(&oracle, &sharded, &format!("sharded({threads})"));
+    }
+}
+
+/// The PR 3 acceptance scenario (4 rings, N=16, k=4, locality 0.8,
+/// transient faults everywhere, retry forever → zero loss) must hold
+/// unchanged in every mode, with byte-identical reports.
+#[test]
+fn fault_acceptance_scenario_is_mode_invariant() {
+    let run_mode = |mode: ExecMode| {
+        let scenario = FaultScenario {
+            fraction: 0.15,
+            horizon: 2_000,
+            outage: Some(400),
+        };
+        let mut rng = SimRng::seed(0xFA);
+        let mut builder = HierNetwork::builder(HierConfig::builder(4, 16, 4).build().unwrap())
+            .checked(true)
+            .fault_seed(7)
+            .exec_mode(mode);
+        for r in 0..4 {
+            builder = builder.local_fault_plan(r, scenario.draw(16, 4, &mut rng));
+        }
+        builder = builder.global_fault_plan(scenario.draw(4, 4, &mut rng));
+        let mut net = builder.build();
+        let msgs = LocalityTraffic {
+            rings: 4,
+            nodes: 16,
+            bridge: NodeId::new(0),
+            locality: 0.8,
+            flits: 8,
+        }
+        .generate(240, 2_000, &mut SimRng::seed(42));
+        net.submit_all(msgs).unwrap();
+        let report = net.run_to_quiescence(5_000_000);
+        assert!(!report.stalled, "{mode}: must quiesce");
+        assert_eq!(report.delivered, 240, "{mode}: zero lost messages");
+        assert_eq!(report.aborted, 0, "{mode}");
+        assert!(report.fault_kills > 0, "{mode}: faults must hit circuits");
+        (report, net.delivered_log().to_vec())
+    };
+    let (oracle, oracle_log) = run_mode(ExecMode::Serial);
+    for threads in [1, 2, 4, 8] {
+        let (r, log) = run_mode(ExecMode::Sharded(threads));
+        assert_eq!(oracle, r, "sharded({threads}) report differs from serial");
+        assert_eq!(oracle_log, log, "sharded({threads}) log differs from serial");
+    }
+}
+
+/// Bridge overflow (depth 1, bursty inter-ring traffic) exercises the
+/// refusal/backoff machinery; refusal counts and recovery must be
+/// identical across modes.
+#[test]
+fn bridge_overflow_is_mode_invariant() {
+    let run_mode = |mode: ExecMode| {
+        let cfg = HierConfig::builder(3, 8, 2)
+            .bridge_queue_depth(1)
+            .bridge_backoff(4)
+            .build()
+            .unwrap();
+        let mut net = HierNetwork::builder(cfg)
+            .checked(true)
+            .recording(true)
+            .exec_mode(mode)
+            .build();
+        for i in 0..24u32 {
+            let src = rmb_types::NodeAddr::new(i % 3, NodeId::new(1 + i % 7));
+            let dst = rmb_types::NodeAddr::new((i + 1) % 3, NodeId::new(1 + (i + 2) % 7));
+            net.submit(HierMessageSpec::new(src, dst, 8)).unwrap();
+        }
+        let report = net.run_to_quiescence(1_000_000);
+        assert_eq!(report.delivered, 24, "{mode}");
+        assert!(report.bridge_refusals > 0, "{mode}: depth 1 must refuse");
+        (report, net.delivered_log().to_vec(), net.take_events())
+    };
+    let serial = run_mode(ExecMode::Serial);
+    let sharded = run_mode(ExecMode::Sharded(4));
+    assert_eq!(serial.0, sharded.0);
+    assert_eq!(serial.1, sharded.1);
+    assert_eq!(serial.2, sharded.2);
+}
+
+/// `take_events` contract: globally ordered by `(tick, ring, seq)` — at
+/// nondecreasing, ring nondecreasing within a tick — in every mode.
+#[test]
+fn take_events_is_ordered_by_tick_then_ring() {
+    for mode in [ExecMode::Serial, ExecMode::Sharded(3)] {
+        let mut net = HierNetwork::builder(HierConfig::builder(3, 8, 2).build().unwrap())
+            .recording(true)
+            .exec_mode(mode)
+            .build();
+        for i in 0..30u32 {
+            let src = rmb_types::NodeAddr::new(i % 3, NodeId::new(1 + i % 7));
+            let dst = rmb_types::NodeAddr::new((i + 1) % 3, NodeId::new(1 + (i + 3) % 7));
+            net.submit(HierMessageSpec::new(src, dst, 4).at(u64::from(i)))
+                .unwrap();
+        }
+        net.run_to_quiescence(100_000);
+        let events = net.take_events();
+        assert!(!events.is_empty(), "{mode}: bridge traffic must trace");
+        for w in events.windows(2) {
+            let a = (w[0].at, w[0].node);
+            let b = (w[1].at, w[1].node);
+            assert!(a <= b, "{mode}: events out of (tick, ring) order: {w:?}");
+        }
+    }
+}

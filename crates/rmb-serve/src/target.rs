@@ -97,6 +97,12 @@ pub trait ServeTarget {
     fn is_stalled(&self) -> bool {
         false
     }
+
+    /// Worker threads the engine advances on (1 unless the target wraps a
+    /// sharded engine). Reported in [`crate::ServeReport`]'s perf record.
+    fn threads(&self) -> usize {
+        1
+    }
 }
 
 /// [`ServeTarget`] over the flat RMB ring ([`RmbNetwork`]).
@@ -324,6 +330,10 @@ impl ServeTarget for HierTarget {
     fn refusals(&self) -> u64 {
         let r = self.net.report();
         r.bridge_refusals + r.leg_refusals
+    }
+
+    fn threads(&self) -> usize {
+        self.net.exec_mode().threads()
     }
 }
 

@@ -32,12 +32,24 @@ fn run_flat(scheduler: SchedulerMode, rate: f64) -> ServeReport {
     serve(&mut target, &mut PoissonStream::new(rate), &cfg)
 }
 
+/// The report minus its wall-clock perf record: byte-identity claims are
+/// about simulation results; perf is host measurement metadata and the
+/// one field allowed to differ between two otherwise identical runs.
+fn untimed(r: &ServeReport) -> ServeReport {
+    ServeReport {
+        perf: None,
+        ..r.clone()
+    }
+}
+
 #[test]
 fn same_seed_same_report() {
     let a = run_flat(SchedulerMode::EventDriven, 0.004);
     let b = run_flat(SchedulerMode::EventDriven, 0.004);
     assert_eq!(a, b);
-    assert_eq!(a.to_json_object(), b.to_json_object());
+    assert_eq!(untimed(&a).to_json_object(), untimed(&b).to_json_object());
+    // Timed runs record the wall clock (single-threaded targets: 1).
+    assert_eq!(a.perf.expect("serve times itself").threads, 1);
 }
 
 #[test]
@@ -49,7 +61,7 @@ fn scheduler_modes_agree_byte_for_byte() {
         let ev = run_flat(SchedulerMode::EventDriven, rate);
         let dense = run_flat(SchedulerMode::DenseSweep, rate);
         assert_eq!(ev, dense, "rate {rate}");
-        assert_eq!(ev.to_json_object(), dense.to_json_object());
+        assert_eq!(untimed(&ev).to_json_object(), untimed(&dense).to_json_object());
     }
 }
 
@@ -173,6 +185,39 @@ fn hier_target_serves_and_accounts() {
     assert!(r.delivered > 0, "{r:?}");
     assert!(r.label.starts_with("rmb-hier"));
     assert!(r.latency.p50.is_some());
+}
+
+#[test]
+fn sharded_hier_target_serves_identically_to_serial() {
+    // Open-loop serving over the hierarchy must be execution-mode
+    // invariant too: the driver's arrival clock, admission decisions and
+    // sketches all key off simulation state, which the sharded engine
+    // reproduces byte for byte.
+    use rmb_types::ExecMode;
+    let run = |mode: ExecMode| {
+        let cfg = HierConfig::builder(4, 5, 2)
+            .head_timeout(80)
+            .retry_backoff(5)
+            .build()
+            .unwrap();
+        let net = HierNetwork::builder(cfg).exec_mode(mode).build();
+        let mut target = HierTarget::new(net);
+        let cfg = ServeConfig::sweep(0.003, 6_000, 33);
+        serve(&mut target, &mut PoissonStream::new(0.003), &cfg)
+    };
+    let serial = run(ExecMode::Serial);
+    for threads in [2, 4] {
+        let sharded = run(ExecMode::Sharded(threads));
+        assert_eq!(serial, sharded, "sharded({threads})");
+        assert_eq!(
+            untimed(&serial).to_json_object(),
+            untimed(&sharded).to_json_object(),
+            "sharded({threads}) JSON row"
+        );
+        // The perf record names the pool size the target ran on.
+        assert_eq!(sharded.perf.unwrap().threads as usize, threads);
+    }
+    assert!(serial.delivered > 0 && serial.loss_accounted());
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Execution-mode vocabulary for engines that can run their state machine
+//! on more than one core, plus the wall-clock measurement record that
+//! makes speedup a first-class experiment output.
+//!
+//! The types live here (not in the engine crates) because the experiment
+//! layer needs to name them without depending on any particular engine:
+//! `rmb-bench` threads an [`ExecMode`] from the CLI down to `rmb-hier`,
+//! and every [`StatsReport`](crate::StatsReport) row can carry a
+//! [`PerfStats`] regardless of which engine produced it.
+
+/// How an engine advances its simulation clock.
+///
+/// The contract every engine offering this option must honour: **the mode
+/// changes wall-clock time only**. Reports, delivery logs, trace events
+/// and RNG draws are byte-identical across modes — `Serial` is the oracle
+/// and `Sharded` must match it bit for bit (the scheduler-equivalence
+/// suites enforce this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Single-threaded reference engine: every shard advanced in index
+    /// order on the calling thread.
+    #[default]
+    Serial,
+    /// Conservative parallel engine: shards advance concurrently on a
+    /// worker pool of the given size inside each synchronisation window.
+    /// A count of 0 or 1 is accepted and behaves like a pool of one
+    /// worker (useful for exercising the parallel code path
+    /// deterministically under test).
+    Sharded(usize),
+}
+
+impl ExecMode {
+    /// Worker threads this mode uses (1 for `Serial`; at least 1 for
+    /// `Sharded`).
+    pub fn threads(self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Sharded(n) => n.max(1),
+        }
+    }
+
+    /// `true` when this mode runs on the shard pool.
+    pub const fn is_sharded(self) -> bool {
+        matches!(self, ExecMode::Sharded(_))
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Serial => write!(f, "serial"),
+            ExecMode::Sharded(n) => write!(f, "sharded({})", n.max(&1)),
+        }
+    }
+}
+
+/// Wall-clock measurement of one run: how fast the simulation advanced in
+/// host time.
+///
+/// This is *measurement metadata*, not simulation state — two runs of the
+/// same workload on hosts of different speeds produce different
+/// `PerfStats` but identical simulation results. Report types therefore
+/// exclude it from their equality comparisons (a `HierReport` from a
+/// sharded run must compare equal to the serial oracle's even though
+/// their wall clocks differ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfStats {
+    /// Wall-clock milliseconds the run took.
+    pub wall_ms: f64,
+    /// Simulated ticks per wall-clock second.
+    pub sim_ticks_per_sec: f64,
+    /// Worker threads the engine ran on.
+    pub threads: u32,
+}
+
+impl PerfStats {
+    /// Builds the record from a tick count and an elapsed wall duration.
+    /// A zero elapsed time (sub-resolution run) reports a rate of 0.0
+    /// rather than infinity so JSON stays finite.
+    pub fn measure(ticks: u64, elapsed: std::time::Duration, threads: usize) -> Self {
+        let secs = elapsed.as_secs_f64();
+        PerfStats {
+            wall_ms: secs * 1_000.0,
+            sim_ticks_per_sec: if secs > 0.0 { ticks as f64 / secs } else { 0.0 },
+            threads: threads.min(u32::MAX as usize) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn exec_mode_thread_counts() {
+        assert_eq!(ExecMode::Serial.threads(), 1);
+        assert_eq!(ExecMode::Sharded(4).threads(), 4);
+        assert_eq!(ExecMode::Sharded(0).threads(), 1, "clamped to one worker");
+        assert!(!ExecMode::Serial.is_sharded());
+        assert!(ExecMode::Sharded(2).is_sharded());
+        assert_eq!(ExecMode::default(), ExecMode::Serial);
+        assert_eq!(ExecMode::Sharded(8).to_string(), "sharded(8)");
+        assert_eq!(ExecMode::Serial.to_string(), "serial");
+    }
+
+    #[test]
+    fn perf_stats_measure() {
+        let p = PerfStats::measure(1_000_000, Duration::from_millis(500), 4);
+        assert!((p.wall_ms - 500.0).abs() < 1e-9);
+        assert!((p.sim_ticks_per_sec - 2_000_000.0).abs() < 1.0);
+        assert_eq!(p.threads, 4);
+        let z = PerfStats::measure(10, Duration::ZERO, 1);
+        assert_eq!(z.sim_ticks_per_sec, 0.0, "zero elapsed must stay finite");
+    }
+}

@@ -114,6 +114,15 @@ impl Value {
         self.as_u64().and_then(|v| u16::try_from(v).ok())
     }
 
+    /// The value as an `f64` (integers widen; precision loss accepted).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
     /// The value as a bool.
     pub fn as_bool(&self) -> Option<bool> {
         match *self {

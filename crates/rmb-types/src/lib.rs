@@ -26,6 +26,7 @@
 
 mod config;
 mod error;
+mod exec;
 mod fault;
 mod flit;
 mod hier;
@@ -36,6 +37,7 @@ pub mod report;
 
 pub use config::{AckMode, InsertionPolicy, NodeConfig, RmbConfig, RmbConfigBuilder};
 pub use error::{ConfigError, ProtocolError};
+pub use exec::{ExecMode, PerfStats};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use flit::{Ack, AckKind, Flit, FlitKind, FlitPayload};
 pub use hier::{HierConfig, HierConfigBuilder, HierConfigError, HierLeg, HierMessageSpec, NodeAddr};

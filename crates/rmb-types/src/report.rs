@@ -30,6 +30,7 @@
 //! assert!(json.contains("\"delivered\":7"));
 //! ```
 
+use crate::exec::PerfStats;
 use std::fmt::Write as _;
 
 /// Latency digest shared by every report type.
@@ -100,6 +101,13 @@ pub trait StatsReport {
     /// `true` if the run ended without progress while work remained.
     fn is_stalled(&self) -> bool;
 
+    /// Wall-clock measurement of the run, when the engine timed it.
+    /// Absent perf serializes as `null` for every perf key, so the schema
+    /// is identical whether or not a run was timed.
+    fn perf(&self) -> Option<PerfStats> {
+        None
+    }
+
     /// Latency digest over delivered messages.
     fn latency(&self) -> LatencySummary;
 
@@ -123,10 +131,20 @@ pub trait StatsReport {
             }
             _ => out.push_str("\"utilization\":null,"),
         }
+        let _ = write!(out, "\"stalled\":{},", self.is_stalled());
+        match self.perf() {
+            Some(p) if p.wall_ms.is_finite() && p.sim_ticks_per_sec.is_finite() => {
+                let _ = write!(
+                    out,
+                    "\"wall_ms\":{:.3},\"sim_ticks_per_sec\":{:.1},\"threads\":{},",
+                    p.wall_ms, p.sim_ticks_per_sec, p.threads,
+                );
+            }
+            _ => out.push_str("\"wall_ms\":null,\"sim_ticks_per_sec\":null,\"threads\":null,"),
+        }
         let _ = write!(
             out,
-            "\"stalled\":{},\"latency\":{{\"count\":{},\"mean\":{:.4},",
-            self.is_stalled(),
+            "\"latency\":{{\"count\":{},\"mean\":{:.4},",
             lat.count,
             if lat.mean.is_finite() { lat.mean } else { 0.0 },
         );
@@ -262,6 +280,9 @@ mod tests {
                 "refusals",
                 "utilization",
                 "stalled",
+                "wall_ms",
+                "sim_ticks_per_sec",
+                "threads",
                 "latency",
                 "count",
                 "mean",
@@ -271,6 +292,52 @@ mod tests {
                 "max"
             ]
         );
+    }
+
+    #[test]
+    fn perf_serializes_when_present_and_null_when_absent() {
+        struct Timed;
+        impl StatsReport for Timed {
+            fn ticks(&self) -> u64 {
+                500
+            }
+            fn delivered_count(&self) -> u64 {
+                1
+            }
+            fn aborted_count(&self) -> u64 {
+                0
+            }
+            fn refusal_count(&self) -> u64 {
+                0
+            }
+            fn is_stalled(&self) -> bool {
+                false
+            }
+            fn perf(&self) -> Option<PerfStats> {
+                Some(PerfStats {
+                    wall_ms: 12.5,
+                    sim_ticks_per_sec: 40_000.0,
+                    threads: 4,
+                })
+            }
+            fn latency(&self) -> LatencySummary {
+                LatencySummary::mean_only(1, 3.0)
+            }
+        }
+        let v = Value::parse(&Timed.to_json_object()).expect("valid json");
+        assert_eq!(v.field("threads").unwrap().as_u64(), Some(4));
+        assert!(v.field("wall_ms").unwrap().as_f64().unwrap() > 12.0);
+        assert!(v.field("sim_ticks_per_sec").unwrap().as_f64().unwrap() > 39_999.0);
+
+        let untimed = Fake {
+            shed: 0,
+            util: None,
+            p50: None,
+        };
+        let v = Value::parse(&untimed.to_json_object()).expect("valid json");
+        assert_eq!(v.field("wall_ms").unwrap(), &Value::Null);
+        assert_eq!(v.field("sim_ticks_per_sec").unwrap(), &Value::Null);
+        assert_eq!(v.field("threads").unwrap(), &Value::Null);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke for the shard pool and the sharded hierarchy
+# engine — the only concurrency in the workspace that touches shared
+# memory (rmb-async's ShardPool hands raw shard pointers to persistent
+# workers; see the Safety section in crates/rmb-async/src/shard.rs).
+#
+# The byte-identity equivalence suite proves the sharded engine computes
+# the right answer, but a data race can produce the right answer until it
+# doesn't; TSan checks the synchronisation story itself (the generation/
+# remaining-counter handshake and the condvar publish path).
+#
+# `-Zsanitizer=thread` needs a nightly toolchain with the rust-src
+# component (the sanitizer runtime requires rebuilding std). On hosts
+# without one — including the hermetic CI container — this script skips
+# loudly and exits 0 rather than failing the suite on a missing
+# toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v rustup >/dev/null 2>&1; then
+  echo "tsan smoke SKIPPED: rustup not available; -Zsanitizer=thread needs a nightly toolchain"
+  exit 0
+fi
+if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+  echo "tsan smoke SKIPPED: no nightly toolchain installed (rustup toolchain install nightly)"
+  exit 0
+fi
+if ! rustup component list --toolchain nightly --installed 2>/dev/null | grep -q '^rust-src'; then
+  echo "tsan smoke SKIPPED: nightly lacks rust-src (rustup component add rust-src --toolchain nightly)"
+  exit 0
+fi
+
+host="$(rustc -vV | awk '/^host:/ { print $2 }')"
+export RUSTFLAGS="-Zsanitizer=thread ${RUSTFLAGS:-}"
+export RUSTDOCFLAGS="-Zsanitizer=thread"
+# TSan slows execution ~5-15x; the shard-pool unit tests and the
+# equivalence suite are small enough that this stays a smoke, not a soak.
+echo "== tsan: rmb-async shard pool unit tests =="
+cargo +nightly test -Zbuild-std --target "$host" -q -p rmb-async
+echo "== tsan: rmb-hier exec_equivalence (sharded vs serial oracle) =="
+cargo +nightly test -Zbuild-std --target "$host" -q -p rmb-hier --test exec_equivalence
+echo "tsan smoke OK"
