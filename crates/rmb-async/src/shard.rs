@@ -24,13 +24,17 @@
 //! This module contains the workspace's only `unsafe` code. The pool
 //! passes two raw pointers to its workers per window: the slice base and
 //! the borrowed closure. Both stay valid because `run_shards` does not
-//! return until every worker has bumped the remaining counter, and
-//! workers never touch a job after that bump (the next job only becomes
-//! visible through a later generation bump, which the coordinator issues
-//! only from inside the next `run_shards` call). Disjoint striping means
-//! no element is ever aliased by two threads. `T: Send` bounds the
-//! cross-thread `&mut T` handoff and `F: Sync` the shared closure,
-//! exactly as `std::thread::scope` would demand.
+//! return — by normal exit *or* by unwinding (the caller's own stripe
+//! runs under `catch_unwind`) — until every worker has bumped the
+//! remaining counter, and workers never touch a job after that bump (the
+//! next job only becomes visible through a later generation bump, which
+//! the coordinator issues only from inside the next `run_shards` call).
+//! `run_shards` takes `&mut self`, so only one window can ever be in
+//! flight: no second publish can race the generation bump or the
+//! remaining counter. Disjoint striping means no element is ever aliased
+//! by two threads. `T: Send` bounds the cross-thread `&mut T` handoff
+//! and `F: Sync` the shared closure, exactly as `std::thread::scope`
+//! would demand.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -109,7 +113,7 @@ struct Inner {
 /// ```
 /// use rmb_async::ShardPool;
 ///
-/// let pool = ShardPool::new(4);
+/// let mut pool = ShardPool::new(4);
 /// let mut counters = vec![0u64; 64];
 /// let mut shards: Vec<&mut u64> = counters.iter_mut().collect();
 /// for round in 0..10 {
@@ -175,13 +179,18 @@ impl ShardPool {
     /// Applies `f` to every shard, striped across the pool, and returns
     /// once all shards are done. `f(i, shard)` must depend only on `i`
     /// and the shard itself — shards are advanced concurrently and may
-    /// not observe each other.
+    /// not observe each other. Takes `&mut self` so that at most one
+    /// window is ever in flight per pool; this exclusivity is part of
+    /// the safety argument (see module docs), not just an API nicety.
     ///
     /// # Panics
     ///
-    /// Propagates (as a fresh panic) any panic raised by `f` on a worker
-    /// thread, after all workers finished the window.
-    pub fn run_shards<T, F>(&self, shards: &mut [&mut T], f: &F)
+    /// Propagates any panic raised by `f` — the caller's own panic
+    /// payload if `f` panicked on the calling thread, otherwise a fresh
+    /// panic for a worker-thread panic. Either way the propagation
+    /// happens only after every worker finished the window, so the
+    /// shard slice and closure are no longer referenced by any thread.
+    pub fn run_shards<T, F>(&mut self, shards: &mut [&mut T], f: &F)
     where
         T: Send,
         F: Fn(usize, &mut T) + Sync,
@@ -222,17 +231,24 @@ impl ShardPool {
             self.inner.cv.notify_all();
         }
 
-        // The caller is the last stripe — work instead of waiting.
-        let mut i = self.threads - 1;
-        while i < len {
-            // SAFETY: same contract as the workers'; this stripe is
-            // disjoint from every worker stripe.
-            #[allow(unsafe_code)]
-            unsafe {
-                call_one::<T, F>(job.ctx, job.shards, i);
+        // The caller is the last stripe — work instead of waiting. The
+        // stripe runs under catch_unwind because an unwind past the
+        // join below would let the caller free the shard slice while
+        // workers still dereference the published pointers; the panic
+        // is re-raised only after every worker has decremented
+        // `remaining`.
+        let caller = catch_unwind(AssertUnwindSafe(|| {
+            let mut i = self.threads - 1;
+            while i < len {
+                // SAFETY: same contract as the workers'; this stripe is
+                // disjoint from every worker stripe.
+                #[allow(unsafe_code)]
+                unsafe {
+                    call_one::<T, F>(job.ctx, job.shards, i);
+                }
+                i += self.threads;
             }
-            i += self.threads;
-        }
+        }));
 
         let mut spins = 0u32;
         while self.inner.remaining.load(Ordering::Acquire) != 0 {
@@ -243,7 +259,16 @@ impl ShardPool {
                 std::thread::yield_now();
             }
         }
-        if self.inner.panicked.swap(false, Ordering::AcqRel) {
+        // The window is fully joined: no thread holds the job pointers
+        // any more, so unwinding is safe from here on. A caller-stripe
+        // panic wins over a concurrent worker panic (its payload is the
+        // original one); the flag is cleared either way so it cannot
+        // leak into the next window.
+        let worker_panicked = self.inner.panicked.swap(false, Ordering::AcqRel);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
             panic!("a shard worker panicked during the window");
         }
     }
@@ -320,7 +345,7 @@ mod tests {
 
     #[test]
     fn applies_to_every_shard_with_its_index() {
-        let pool = ShardPool::new(4);
+        let mut pool = ShardPool::new(4);
         let mut data = vec![0usize; 37];
         let mut shards: Vec<&mut usize> = data.iter_mut().collect();
         pool.run_shards(&mut shards, &|i, v| *v = i * i);
@@ -335,7 +360,7 @@ mod tests {
         // The hierarchy runs one window per simulated tick; the pool must
         // stay correct over long window sequences, including stretches
         // long enough for workers to fall back to parking.
-        let pool = ShardPool::new(3);
+        let mut pool = ShardPool::new(3);
         let mut data = [0u64; 8];
         let mut shards: Vec<&mut u64> = data.iter_mut().collect();
         for w in 0..5_000u64 {
@@ -350,7 +375,7 @@ mod tests {
 
     #[test]
     fn single_thread_pool_runs_in_order() {
-        let pool = ShardPool::new(1);
+        let mut pool = ShardPool::new(1);
         assert_eq!(pool.threads(), 1);
         let mut log = vec![0usize; 5];
         let mut shards: Vec<&mut usize> = log.iter_mut().collect();
@@ -364,7 +389,7 @@ mod tests {
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let pool = ShardPool::new(0);
+        let mut pool = ShardPool::new(0);
         assert_eq!(pool.threads(), 1);
         let mut data = [1u32, 2];
         let mut shards: Vec<&mut u32> = data.iter_mut().collect();
@@ -375,7 +400,7 @@ mod tests {
 
     #[test]
     fn more_threads_than_shards() {
-        let pool = ShardPool::new(8);
+        let mut pool = ShardPool::new(8);
         let mut data = vec![0u8; 3];
         let mut shards: Vec<&mut u8> = data.iter_mut().collect();
         pool.run_shards(&mut shards, &|i, v| *v = i as u8 + 1);
@@ -385,7 +410,7 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_and_pool_survives_drop() {
-        let pool = ShardPool::new(4);
+        let mut pool = ShardPool::new(4);
         let mut data = [0u32; 16];
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut shards: Vec<&mut u32> = data.iter_mut().collect();
@@ -397,5 +422,37 @@ mod tests {
         }));
         assert!(r.is_err(), "worker panic must propagate to the caller");
         drop(pool); // workers must still join cleanly
+    }
+
+    #[test]
+    fn caller_stripe_panic_joins_workers_before_unwinding() {
+        let mut pool = ShardPool::new(4);
+        let mut data = [0u32; 16];
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut shards: Vec<&mut u32> = data.iter_mut().collect();
+            pool.run_shards(&mut shards, &|i, v| {
+                *v = i as u32 + 1;
+                // Index 3 is the caller's first stripe index
+                // (`threads - 1`), so this panic unwinds the
+                // coordinating thread, not a worker.
+                assert!(i != 3, "boom on caller stripe");
+            });
+        }));
+        assert!(r.is_err(), "caller panic must still propagate");
+        // The join completed before the unwind: every worker-stripe
+        // index was written even though the caller stripe died early.
+        for (i, v) in data.iter().enumerate() {
+            if i % 4 != 3 {
+                assert_eq!(*v, i as u32 + 1, "worker stripe {i} unfinished");
+            }
+        }
+        // And the pool is still healthy for subsequent windows.
+        let mut shards: Vec<&mut u32> = data.iter_mut().collect();
+        pool.run_shards(&mut shards, &|i, v| *v = 100 + i as u32);
+        drop(shards);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 100 + i as u32);
+        }
+        drop(pool);
     }
 }

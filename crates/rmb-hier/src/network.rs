@@ -460,7 +460,7 @@ impl HierNetwork {
     /// The parallel phase: every carrier ring advances itself to the
     /// window boundary `until`, independently of every other ring.
     fn advance_rings(&mut self, until: u64) {
-        if let Some(pool) = &self.pool {
+        if let Some(pool) = &mut self.pool {
             let mut shards: Vec<&mut RmbNetwork> = self
                 .locals
                 .iter_mut()
