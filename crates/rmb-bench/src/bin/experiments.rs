@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! experiments [--exp NAME] [--n N] [--k K] [--flits F] [--seed S]
-//!             [--rate R] [--ticks T] [--threads T] [--json] [--list]
+//!             [--rate R] [--ticks T] [--threads T] [--scenario FILE]
+//!             [--json] [--list]
 //! ```
 //!
 //! `--json` emits one machine-readable JSON object per experiment instead
 //! of text tables (for plotting or regression tracking). `--list` prints
 //! the registered experiment names with descriptions and exits. `--rate`
 //! and `--ticks` override the offered rate / tick budget of the open-loop
-//! serving experiments.
+//! serving experiments. `--scenario FILE` runs a declarative TOML
+//! scenario (see the `rmb-scenario` crate and `scenarios/`) through the
+//! same envelope; it implies `--exp scenario`.
 //!
 //! Experiments come from [`rmb_bench::registry::registry`]; `--exp all`
 //! (the default) runs the whole suite. Sizes default to N = 64 (clamped
@@ -29,6 +32,7 @@ struct Options {
     ticks: Option<u64>,
     rate: Option<f64>,
     threads: usize,
+    scenario: Option<String>,
     json: bool,
     list: bool,
 }
@@ -37,7 +41,8 @@ fn usage() -> String {
     let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
     format!(
         "usage: experiments [--exp {}|all] [--n N] [--k K] [--flits F] \
-         [--seed S] [--rate R] [--ticks T] [--threads T] [--json] [--list]",
+         [--seed S] [--rate R] [--ticks T] [--threads T] [--scenario FILE] \
+         [--json] [--list]",
         names.join("|")
     )
 }
@@ -52,6 +57,7 @@ fn parse() -> Options {
         ticks: None,
         rate: None,
         threads: 1,
+        scenario: None,
         json: false,
         list: false,
     };
@@ -75,6 +81,7 @@ fn parse() -> Options {
             "--threads" => {
                 opt.threads = value("--threads").parse().expect("numeric --threads");
             }
+            "--scenario" => opt.scenario = Some(value("--scenario")),
             "--json" => opt.json = true,
             "--list" => opt.list = true,
             other => {
@@ -88,7 +95,10 @@ fn parse() -> Options {
 }
 
 fn main() {
-    let opt = parse();
+    let mut opt = parse();
+    if opt.scenario.is_some() && opt.exp == "all" {
+        opt.exp = "scenario".into();
+    }
     let reg = registry();
 
     if opt.list {
@@ -114,6 +124,7 @@ fn main() {
         ticks: opt.ticks,
         rate: opt.rate,
         threads: opt.threads.max(1),
+        scenario: opt.scenario.clone(),
     };
 
     for e in &reg {

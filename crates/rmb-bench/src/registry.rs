@@ -21,7 +21,7 @@ use crate::experiments::{
 use crate::rows::JsonReport;
 
 /// Knobs shared by every experiment, parsed once by the binary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpContext {
     /// Node count (experiments clamp as their study requires).
     pub n: u32,
@@ -45,6 +45,9 @@ pub struct ExpContext {
     /// *inside* one simulation. Results are identical either way — only
     /// the wall-clock columns move.
     pub threads: usize,
+    /// Scenario file for the `scenario` experiment (`--scenario`). The
+    /// arm is a no-op when absent, so `--exp all` skips it.
+    pub scenario: Option<String>,
 }
 
 /// One emitted result: a JSON row set plus its rendered text table.
@@ -451,6 +454,55 @@ experiment!(
     }
 );
 
+experiment!(
+    ScenarioExp,
+    "scenario",
+    "declarative scenario file (--scenario file.toml)",
+    |cx| {
+        match cx.scenario.as_deref() {
+            Some(path) => run_scenario_file(path),
+            None => vec![],
+        }
+    }
+);
+
+/// Loads, validates and runs one scenario file, writing any recorded
+/// trace next to the scenario. Exits with status 2 on any error — the
+/// scenario arm only runs from the CLI, and the whole point of the
+/// schema layer is that the message already names the key and line.
+fn run_scenario_file(path: &str) -> Vec<ExpOutput> {
+    use std::path::Path;
+    fn fail(path: &str, msg: impl std::fmt::Display) -> ! {
+        eprintln!("scenario `{path}`: {msg}");
+        std::process::exit(2);
+    }
+    let file = Path::new(path);
+    let base = file.parent().filter(|p| !p.as_os_str().is_empty());
+    let base = base.unwrap_or_else(|| Path::new("."));
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| fail(path, e));
+    let scenario = rmb_scenario::parse_scenario(&text).unwrap_or_else(|e| fail(path, e));
+    let out = rmb_scenario::run_scenario(&scenario, base).unwrap_or_else(|e| fail(path, e));
+    if let Some(rec) = &out.recorded {
+        let target = base.join(&rec.path);
+        if let Some(dir) = target.parent() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(path, format_args!("creating `{}`: {e}", dir.display())));
+        }
+        std::fs::write(&target, &rec.content)
+            .unwrap_or_else(|e| fail(path, format_args!("writing `{}`: {e}", target.display())));
+    }
+    vec![ExpOutput {
+        name: "scenario".to_string(),
+        heading: format!(
+            "Scenario `{}` — {} workload on {} ({} mode):",
+            out.name, out.workload, out.topology, out.mode
+        ),
+        rows_json: format!("[{}]", out.row_json),
+        table: out.table,
+        footer: String::new(),
+    }]
+}
+
 /// All registered experiments, in suite order.
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
@@ -472,6 +524,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(Deadlock),
         Box::new(OpenLoop),
         Box::new(OpenLoopSoak),
+        Box::new(ScenarioExp),
     ]
 }
 
@@ -485,6 +538,7 @@ mod tests {
         let mut names: Vec<&str> = reg.iter().map(|e| e.name()).collect();
         assert!(names.contains(&"open_loop"));
         assert!(names.contains(&"deadlock"));
+        assert!(names.contains(&"scenario"));
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), reg.len(), "duplicate experiment names");
@@ -502,6 +556,7 @@ mod tests {
             ticks: None,
             rate: None,
             threads: 1,
+            scenario: None,
         };
         let reg = registry();
         let grid = reg.iter().find(|e| e.name() == "grid").unwrap();
@@ -511,6 +566,24 @@ mod tests {
         assert!(!out[0].table.is_empty());
         let deadlock = reg.iter().find(|e| e.name() == "deadlock").unwrap();
         assert_eq!(deadlock.run(&cx).len(), 3, "deadlock emits three outputs");
+    }
+
+    #[test]
+    fn scenario_arm_is_a_no_op_without_a_file() {
+        let cx = ExpContext {
+            n: 8,
+            k: 2,
+            flits: 4,
+            seed: 7,
+            all: true,
+            ticks: None,
+            rate: None,
+            threads: 1,
+            scenario: None,
+        };
+        let reg = registry();
+        let arm = reg.iter().find(|e| e.name() == "scenario").unwrap();
+        assert!(arm.run(&cx).is_empty(), "`--exp all` must skip the arm");
     }
 
     #[test]
@@ -524,6 +597,7 @@ mod tests {
             ticks: Some(1_500),
             rate: Some(0.003),
             threads: 1,
+            scenario: None,
         };
         let reg = registry();
         let open = reg.iter().find(|e| e.name() == "open_loop").unwrap();

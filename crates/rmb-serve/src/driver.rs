@@ -47,6 +47,30 @@ pub enum AdmissionMode {
     },
 }
 
+/// How the driver picks a destination for each admitted arrival.
+///
+/// Destination choice lives in the driver (not the arrival stream)
+/// because it is drawn per *admitted* message from the driver's RNG; a
+/// policy only changes which node is drawn, never how many RNG values the
+/// uniform path consumes — [`Uniform`](DestinationPolicy::Uniform) runs
+/// produce bit-identical reports with or without this type in the loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DestinationPolicy {
+    /// Uniformly random other node (the classic load-sweep choice, and
+    /// what [`serve`] always uses).
+    Uniform,
+    /// Hot-spot bias: with probability `fraction` the destination is
+    /// `node` (unless the source *is* the hot node); otherwise a
+    /// uniformly random other node.
+    Hotspot {
+        /// Serving index of the hot node.
+        node: u32,
+        /// Probability an arrival is redirected to the hot node
+        /// (clamped to `[0, 1]` at draw time).
+        fraction: f64,
+    },
+}
+
 /// Shape of one open-loop run.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -244,6 +268,18 @@ pub fn serve(
     arrivals: &mut dyn ArrivalStream,
     cfg: &ServeConfig,
 ) -> ServeReport {
+    serve_with_policy(target, arrivals, cfg, DestinationPolicy::Uniform)
+}
+
+/// [`serve`] with an explicit [`DestinationPolicy`]. With
+/// [`DestinationPolicy::Uniform`] this is exactly `serve` — same RNG
+/// draw sequence, bit-identical report.
+pub fn serve_with_policy(
+    target: &mut dyn ServeTarget,
+    arrivals: &mut dyn ArrivalStream,
+    cfg: &ServeConfig,
+    policy: DestinationPolicy,
+) -> ServeReport {
     let start = std::time::Instant::now();
     let n = target.node_count();
     assert!(n >= 2, "need at least two serving nodes");
@@ -274,12 +310,22 @@ pub fn serve(
                 }
             };
             if admit {
-                let dest = {
+                let uniform_other = |rng: &mut SimRng| {
                     let r = rng.index((n - 1) as usize).expect("n >= 2") as u32;
                     if r >= node {
                         r + 1
                     } else {
                         r
+                    }
+                };
+                let dest = match policy {
+                    DestinationPolicy::Uniform => uniform_other(&mut rng),
+                    DestinationPolicy::Hotspot { node: hot, fraction } => {
+                        if node != hot && rng.chance(fraction.clamp(0.0, 1.0)) {
+                            hot
+                        } else {
+                            uniform_other(&mut rng)
+                        }
                     }
                 };
                 target.submit(node, dest, cfg.flits);

@@ -54,5 +54,7 @@
 mod driver;
 mod target;
 
-pub use driver::{serve, AdmissionMode, ServeConfig, ServeReport};
+pub use driver::{
+    serve, serve_with_policy, AdmissionMode, DestinationPolicy, ServeConfig, ServeReport,
+};
 pub use target::{Completion, FlatTarget, HierTarget, ServeTarget, TargetTotals, WormholeTarget};

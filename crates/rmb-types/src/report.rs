@@ -64,6 +64,33 @@ impl LatencySummary {
             ..LatencySummary::default()
         }
     }
+
+    /// Exact summary over a complete sample set, with nearest-rank
+    /// percentiles (the value at rank `ceil(phi * count)`, 1-indexed).
+    /// Empty input gives the all-`None` default. Use when a full latency
+    /// log is available; engines streaming through a sketch report
+    /// estimates instead.
+    pub fn exact_from(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        let mean = sorted.iter().map(|&l| l as f64).sum::<f64>() / count as f64;
+        let rank = |phi: f64| {
+            let r = (phi * count as f64).ceil() as usize;
+            sorted[r.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            count,
+            mean,
+            p50: Some(rank(0.5)),
+            p99: Some(rank(0.99)),
+            p999: Some(rank(0.999)),
+            max: sorted.last().copied(),
+        }
+    }
 }
 
 /// The statistics every simulator run can report, regardless of engine.
@@ -345,5 +372,22 @@ mod tests {
         let s = LatencySummary::mean_only(9, 3.5);
         assert_eq!(s.count, 9);
         assert_eq!(s.p50, None);
+    }
+
+    #[test]
+    fn exact_from_uses_nearest_rank() {
+        let s = LatencySummary::exact_from(&[40, 10, 30, 20]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 25.0);
+        assert_eq!(s.p50, Some(20)); // rank ceil(0.5 * 4) = 2
+        assert_eq!(s.p99, Some(40));
+        assert_eq!(s.p999, Some(40));
+        assert_eq!(s.max, Some(40));
+
+        let one = LatencySummary::exact_from(&[7]);
+        assert_eq!(one.p50, Some(7));
+        assert_eq!(one.max, Some(7));
+
+        assert_eq!(LatencySummary::exact_from(&[]), LatencySummary::default());
     }
 }

@@ -1,0 +1,199 @@
+//! MPI-style collective exchange patterns as message-batch generators.
+//!
+//! Collectives are the workloads parallel programs actually run:
+//! all-to-all personalized exchange (the transpose/FFT pattern) and
+//! nearest-neighbour halo exchange (stencil codes). Both are fully
+//! deterministic — no RNG — so a scenario naming one pins its message
+//! set by construction, and both are expressed over flat node indices
+//! `0..n`, which every batch network in the workspace (flat ring, grid,
+//! lattice, wormhole torus) accepts directly.
+
+use rmb_types::{MessageSpec, NodeId};
+
+/// All-to-all personalized exchange over `n` nodes: `n - 1` rounds, with
+/// round `r` (1-based) sending one `flits`-flit message from every node
+/// `s` to `(s + r) mod n` — the classic shifted-permutation schedule, so
+/// every round is a full permutation and every ordered pair is covered
+/// exactly once. Round `r` injects at `(r - 1) * stagger`; `stagger = 0`
+/// offers the whole exchange at once.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_workloads::all_to_all;
+///
+/// let msgs = all_to_all(4, 8, 10);
+/// assert_eq!(msgs.len(), 4 * 3); // every ordered pair once
+/// assert!(msgs.iter().all(|m| m.source != m.destination));
+/// assert_eq!(msgs.last().unwrap().inject_at, 20); // round 3 of 3
+/// ```
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn all_to_all(n: u32, flits: u32, stagger: u64) -> Vec<MessageSpec> {
+    assert!(n >= 2, "all-to-all needs at least two nodes");
+    let mut out = Vec::with_capacity((n as usize) * (n as usize - 1));
+    for round in 1..n {
+        let at = u64::from(round - 1) * stagger;
+        for s in 0..n {
+            out.push(MessageSpec::new(NodeId::new(s), NodeId::new((s + round) % n), flits).at(at));
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour (halo) exchange over a ring of `n` nodes: each of
+/// `rounds` rounds sends one `flits`-flit message from every node to both
+/// of its ring neighbours, `(s + 1) mod n` and `(s + n - 1) mod n`. Round
+/// `r` (0-based) injects at `r * stagger`.
+///
+/// On `n = 2` the two neighbours coincide, so each round sends one
+/// message per node instead of two.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_workloads::nearest_neighbour;
+///
+/// let msgs = nearest_neighbour(8, 4, 2, 100);
+/// assert_eq!(msgs.len(), 8 * 2 * 2);
+/// assert!(msgs.iter().all(|m| m.inject_at == 0 || m.inject_at == 100));
+/// ```
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `rounds == 0`.
+pub fn nearest_neighbour(n: u32, flits: u32, rounds: u32, stagger: u64) -> Vec<MessageSpec> {
+    assert!(n >= 2, "nearest-neighbour needs at least two nodes");
+    assert!(rounds >= 1, "nearest-neighbour needs at least one round");
+    let per_node = if n == 2 { 1 } else { 2 };
+    let mut out = Vec::with_capacity((n as usize) * per_node * rounds as usize);
+    for round in 0..rounds {
+        let at = u64::from(round) * stagger;
+        for s in 0..n {
+            out.push(MessageSpec::new(NodeId::new(s), NodeId::new((s + 1) % n), flits).at(at));
+            if n > 2 {
+                out.push(
+                    MessageSpec::new(NodeId::new(s), NodeId::new((s + n - 1) % n), flits).at(at),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic fixed-period arrivals for the open-loop driver: every
+/// node fires exactly every `period` ticks, the BSP-style "everyone
+/// exchanges on a barrier clock" pattern. The gap never consults the RNG,
+/// so the arrival schedule is identical across seeds — only destination
+/// choice (drawn by the driver) varies.
+///
+/// # Examples
+///
+/// ```
+/// use rmb_workloads::{ArrivalStream, ExchangeStream};
+/// use rmb_sim::SimRng;
+///
+/// let mut s = ExchangeStream::new(50);
+/// let mut rng = SimRng::seed(1);
+/// assert_eq!(s.next_gap(3, &mut rng), 50);
+/// assert_eq!(s.label(), "exchange");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeStream {
+    period: u64,
+}
+
+impl ExchangeStream {
+    /// Creates a stream firing every `period` ticks (clamped to at
+    /// least 1).
+    pub fn new(period: u64) -> Self {
+        ExchangeStream {
+            period: period.max(1),
+        }
+    }
+
+    /// Ticks between successive arrivals at each node.
+    pub const fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl crate::ArrivalStream for ExchangeStream {
+    fn next_gap(&mut self, _node: u32, _rng: &mut rmb_sim::SimRng) -> u64 {
+        self.period
+    }
+
+    fn label(&self) -> &'static str {
+        "exchange"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrivalStream;
+    use rmb_sim::SimRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_to_all_covers_every_ordered_pair_once() {
+        let n = 6;
+        let msgs = all_to_all(n, 4, 0);
+        assert_eq!(msgs.len(), (n as usize) * (n as usize - 1));
+        let pairs: HashSet<(u32, u32)> = msgs
+            .iter()
+            .map(|m| (m.source.index(), m.destination.index()))
+            .collect();
+        assert_eq!(pairs.len(), msgs.len(), "no duplicate pair");
+        assert!(msgs.iter().all(|m| m.source != m.destination));
+    }
+
+    #[test]
+    fn all_to_all_rounds_are_permutations() {
+        let n = 5u32;
+        let msgs = all_to_all(n, 1, 7);
+        for round in 1..n {
+            let at = u64::from(round - 1) * 7;
+            let round_msgs: Vec<_> = msgs.iter().filter(|m| m.inject_at == at).collect();
+            assert_eq!(round_msgs.len(), n as usize);
+            let sources: HashSet<u32> = round_msgs.iter().map(|m| m.source.index()).collect();
+            let dests: HashSet<u32> = round_msgs.iter().map(|m| m.destination.index()).collect();
+            assert_eq!(sources.len(), n as usize);
+            assert_eq!(dests.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbour_targets_only_neighbours() {
+        let n = 9u32;
+        for m in nearest_neighbour(n, 2, 3, 11) {
+            let s = m.source.index();
+            let d = m.destination.index();
+            assert!(d == (s + 1) % n || d == (s + n - 1) % n, "{s} -> {d}");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbour_two_nodes_deduplicates() {
+        let msgs = nearest_neighbour(2, 1, 1, 0);
+        assert_eq!(msgs.len(), 2);
+    }
+
+    #[test]
+    fn exchange_stream_is_rng_independent() {
+        let mut s = ExchangeStream::new(25);
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(999);
+        for node in 0..10 {
+            assert_eq!(s.next_gap(node, &mut a), 25);
+            assert_eq!(s.next_gap(node, &mut b), 25);
+        }
+    }
+
+    #[test]
+    fn exchange_period_is_clamped_positive() {
+        assert_eq!(ExchangeStream::new(0).period(), 1);
+    }
+}

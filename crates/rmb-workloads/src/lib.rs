@@ -23,15 +23,19 @@
 #![warn(missing_docs)]
 
 mod arrival;
+mod collective;
 mod faults;
 mod locality;
 mod permutation;
 mod sizes;
 mod suite;
+mod trace;
 
 pub use arrival::{ArrivalProcess, ArrivalStream, BernoulliArrivals, BurstyStream, PoissonStream};
+pub use collective::{all_to_all, nearest_neighbour, ExchangeStream};
 pub use faults::FaultScenario;
 pub use locality::LocalityTraffic;
 pub use permutation::{Permutation, PermutationKind};
 pub use sizes::SizeDistribution;
 pub use suite::{WorkloadConfig, WorkloadSuite};
+pub use trace::{canonical_trace_order, decode_trace, encode_trace};

@@ -12,7 +12,7 @@ cargo clippy --workspace --all-targets -- -D clippy::perf
 
 echo "== clippy (all warnings as errors on the scheduler/fault/builder path) =="
 cargo clippy -p rmb-types -p rmb-workloads -p rmb-sim -p rmb-core -p rmb-hier \
-  -p rmb-serve -p rmb-bench -p rmb-async --all-targets -- -D warnings
+  -p rmb-serve -p rmb-scenario -p rmb-bench -p rmb-async --all-targets -- -D warnings
 
 echo "== scheduler equivalence (event engine vs dense-sweep oracle) =="
 cargo test -q -p rmb-core --test scheduler_equivalence
@@ -92,6 +92,28 @@ for gate_bench in "tick_kernel/per_circuit/N64_k8_active16" "tick_kernel/per_cir
     exit (m > limit) ? 1 : 0
   }' || { echo "regression gate FAILED for $gate_bench" >&2; exit 1; }
 done
+
+echo "== scenario goldens (byte-identical envelopes) =="
+# Every checked-in scenario must reproduce its pinned golden exactly.
+# The alphabetical glob runs trace_record before trace_replay, so the
+# recorded trace is rewritten before the replay scenario re-reads it —
+# and the rewrite itself must be byte-identical to the checked-in trace.
+trace_before="$(cksum scenarios/traces/smoke.trace.json)"
+for f in scenarios/*.toml; do
+  stem="$(basename "$f" .toml)"
+  got="$(cargo run --release -q -p rmb-bench --bin experiments -- --scenario "$f" --json)"
+  if ! diff <(printf '%s\n' "$got") "scenarios/golden/$stem.json" >/dev/null; then
+    echo "scenario golden drift for $stem:" >&2
+    diff <(printf '%s\n' "$got") "scenarios/golden/$stem.json" >&2 || true
+    echo "if intentional, regenerate with: experiments --scenario $f --json" >&2
+    exit 1
+  fi
+done
+trace_after="$(cksum scenarios/traces/smoke.trace.json)"
+if [[ "$trace_before" != "$trace_after" ]]; then
+  echo "trace_record rewrote scenarios/traces/smoke.trace.json with different bytes" >&2
+  exit 1
+fi
 
 echo "== fault-tolerance sweep (tiny size) =="
 ft_json="$(cargo run --release -q -p rmb-bench --bin experiments -- \

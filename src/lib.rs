@@ -16,8 +16,11 @@
 //!   global ring for scale-out topologies.
 //! * [`serve`] — open-loop serving: streaming arrivals, admission
 //!   control with explicit shedding, online latency percentiles.
+//! * [`scenario`] — declarative TOML scenario harness: one file names a
+//!   topology, engine, workload and fault plan; goldens pin the output.
 //! * [`analysis`] — §3.2 cost models and the offline-optimal scheduler.
-//! * [`workloads`] — permutations and arrival processes.
+//! * [`workloads`] — permutations, collectives, arrival processes and
+//!   trace record/replay.
 //! * [`sim`] — the simulation substrate (ticks, events, stats, tracing).
 //! * [`types`] — shared vocabulary.
 //!
@@ -42,6 +45,7 @@ pub use rmb_async as asynchronous;
 pub use rmb_baselines as baselines;
 pub use rmb_core as core;
 pub use rmb_hier as hier;
+pub use rmb_scenario as scenario;
 pub use rmb_serve as serve;
 pub use rmb_sim as sim;
 pub use rmb_types as types;

@@ -18,6 +18,8 @@ fn umbrella_reexports_cover_all_crates() {
     let _ = rmb::baselines::Hypercube::new(4);
     let _ = rmb::analysis::cost::cost(rmb::analysis::Architecture::Rmb, 8, 2);
     let _ = rmb::workloads::PermutationKind::Random;
+    let _ = rmb::serve::AdmissionMode::Aggregate { depth: 1 };
+    let _ = rmb::scenario::parse_scenario("").unwrap_err();
 }
 
 #[test]
